@@ -1,0 +1,74 @@
+"""Ablation: dedicated FEIP dot-product vs element-wise-FEBO emulation.
+
+The paper separates secure dot-product from element-wise multiplication
+"due to efficiency considerations" (Section III-C).  This bench
+quantifies that choice: computing a length-l inner product as one FEIP
+decrypt vs l FEBO multiply-decrypts plus a plaintext sum.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+from benchmarks.conftest import series_table, write_report
+from repro.matrix.secure_matrix import (
+    SecureMatrixScheme,
+    matrix_bound_dot,
+    matrix_bound_elementwise,
+)
+from repro.mathutils.dlog import SolverCache
+from repro.utils.timer import Stopwatch
+
+LENGTHS = [10, 50, 100]
+COUNT = 20  # inner products per measurement
+VALUE_RANGE = (1, 10)
+
+
+def measure(bench_params, vector_length: int):
+    rng = random.Random(3)
+    scheme = SecureMatrixScheme(bench_params, rng=rng,
+                                solver_cache=SolverCache())
+    msk_ip, msk_bo = scheme.setup(column_length=vector_length)
+    lo, hi = VALUE_RANGE
+    x = np.array([[rng.randrange(lo, hi + 1) for _ in range(COUNT)]
+                  for _ in range(vector_length)], dtype=object)
+    y_vec = [rng.randrange(lo, hi + 1) for _ in range(vector_length)]
+    enc = scheme.pre_process_encryption(x)
+
+    # dedicated FEIP dot product
+    keys_ip = scheme.derive_dot_keys(msk_ip, [y_vec])
+    bound_ip = matrix_bound_dot(hi, hi, vector_length)
+    with Stopwatch() as sw_ip:
+        z_ip = scheme.secure_dot(enc, keys_ip, bound_ip)
+
+    # FEBO emulation: element-wise products, summed in plaintext
+    y_matrix = np.array([[y_vec[i] for _ in range(COUNT)]
+                         for i in range(vector_length)], dtype=object)
+    keys_bo = scheme.derive_elementwise_keys(msk_bo, "*", y_matrix,
+                                             enc.commitments())
+    bound_bo = matrix_bound_elementwise("*", hi, hi)
+    with Stopwatch() as sw_bo:
+        products = scheme.secure_elementwise(enc, keys_bo, bound_bo)
+        z_bo = products.sum(axis=0)[np.newaxis, :]
+
+    assert (z_ip == z_bo).all(), "the two methods disagree"
+    return sw_ip.elapsed, sw_bo.elapsed
+
+
+def test_dot_vs_febo_emulation(benchmark, bench_params):
+    def sweep():
+        return [(l, *measure(bench_params, l)) for l in LENGTHS]
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [
+        [str(l), f"{ip:.3f}", f"{bo:.3f}", f"{bo / max(ip, 1e-9):.1f}x"]
+        for l, ip, bo in results
+    ]
+    write_report("ablation_dot_vs_febo", series_table(
+        ["l", "FEIP dot (s)", "FEBO emulation (s)", "slowdown"], rows))
+
+    # the dedicated dot product must win, increasingly so with length
+    for l, ip, bo in results:
+        assert bo > ip, f"FEBO emulation unexpectedly faster at l={l}"

@@ -1,0 +1,76 @@
+"""Ablation: fixed-point scale vs model fidelity.
+
+The paper keeps "two decimal places" (scale 100).  This bench trains the
+same encrypted MLP at scale 10 / 100 / 1000 and compares final accuracy
+against the plaintext twin, quantifying how much precision the crypto
+path can shed before learning degrades.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+from benchmarks.conftest import series_table, write_report
+from repro.core.config import CryptoNNConfig
+from repro.core.cryptonn import CryptoNNTrainer
+from repro.core.entities import Client, TrustedAuthority
+from repro.data.preprocess import one_hot
+from repro.data.tabular import load_clinics
+from repro.nn.layers import Dense, ReLU
+from repro.nn.losses import SoftmaxCrossEntropyLoss
+from repro.nn.model import Sequential
+from repro.nn.optimizers import SGD
+
+SCALES = [10, 100, 1000]
+
+
+def make_data():
+    shard = load_clinics(n_clinics=1, samples_per_clinic=120, n_features=6,
+                         seed=5)[0]
+    x = np.clip(shard.x / (np.abs(shard.x).max() + 1e-9), -1, 1)
+    return x, shard.y
+
+
+def train_at_scale(scale: int, x, y) -> float:
+    config = CryptoNNConfig(scale=scale)
+    authority = TrustedAuthority(config, rng=random.Random(0))
+    client = Client(authority)
+    enc = client.encrypt_tabular(x, y, num_classes=2)
+    rng = np.random.default_rng(0)
+    model = Sequential([Dense(6, 8, rng=rng), ReLU(), Dense(8, 2, rng=rng)])
+    trainer = CryptoNNTrainer(model, authority)
+    trainer.fit(enc, SGD(0.5), epochs=3, batch_size=20,
+                rng=np.random.default_rng(1))
+    return trainer.evaluate(enc)
+
+
+def train_plaintext(x, y) -> float:
+    rng = np.random.default_rng(0)
+    model = Sequential([Dense(6, 8, rng=rng), ReLU(), Dense(8, 2, rng=rng)])
+    model.fit(x, one_hot(y, 2), SoftmaxCrossEntropyLoss(), SGD(0.5),
+              epochs=3, batch_size=20, rng=np.random.default_rng(1))
+    return model.evaluate(x, one_hot(y, 2))
+
+
+def test_scale_ablation(benchmark):
+    x, y = make_data()
+
+    def sweep():
+        plain = train_plaintext(x, y)
+        return plain, [(s, train_at_scale(s, x, y)) for s in SCALES]
+
+    plain_acc, results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [["plaintext", f"{plain_acc:.3f}"]] + [
+        [f"scale={s}", f"{acc:.3f}"] for s, acc in results
+    ]
+    write_report("ablation_fixed_point_scale",
+                 series_table(["configuration", "train accuracy"], rows))
+
+    # the paper's scale (100) should be within a few points of plaintext
+    acc_100 = dict(results)[100]
+    assert abs(acc_100 - plain_acc) < 0.1
+    # and more precision should never be much worse
+    acc_1000 = dict(results)[1000]
+    assert acc_1000 >= acc_100 - 0.1

@@ -1,0 +1,75 @@
+"""Communication overhead of key generation (paper Section IV-B2).
+
+The paper gives a closed form: training a two-class NN with k first-layer
+units on X (m samples, n features) sends k x n x |w| bytes to the
+authority and receives k x |sk| bytes per iteration.  This bench measures
+the actual protocol traffic for one iteration and checks it against the
+formula (plus the documented per-sample loss-key term the formula
+elides).
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+from benchmarks.conftest import series_table, write_report
+from repro.core import protocol
+from repro.core.config import CryptoNNConfig
+from repro.core.cryptonn import CryptoNNTrainer
+from repro.core.entities import Client, TrustedAuthority
+from repro.core.serialization import exponent_size_bytes
+from repro.nn.layers import Dense, ReLU
+from repro.nn.model import Sequential
+from repro.nn.optimizers import SGD
+
+
+def run_one_iteration(k: int, n: int, m: int):
+    config = CryptoNNConfig()
+    authority = TrustedAuthority(config, rng=random.Random(0))
+    client = Client(authority)
+    rng = np.random.default_rng(0)
+    x = rng.uniform(-1, 1, size=(m, n))
+    y = rng.integers(0, 2, size=m)
+    enc = client.encrypt_tabular(x, y, num_classes=2)
+    model = Sequential([Dense(n, k, rng=rng), ReLU(), Dense(k, 2, rng=rng)])
+    trainer = CryptoNNTrainer(model, authority)
+    authority.traffic.clear()
+    trainer.fit(enc, SGD(0.1), epochs=1, batch_size=m, max_batches=1,
+                rng=np.random.default_rng(1))
+    return authority
+
+
+def test_communication_matches_formula(benchmark):
+    k, n, m = 8, 6, 30
+    authority = benchmark.pedantic(run_one_iteration, args=(k, n, m),
+                                   rounds=1, iterations=1)
+    w = authority.config.key_weight_bytes
+    upload = authority.traffic.total_bytes(
+        sender=protocol.SERVER, kind=protocol.KIND_FEIP_KEY_REQUEST)
+    download = authority.traffic.total_bytes(
+        sender=protocol.AUTHORITY, kind=protocol.KIND_FEIP_KEY_RESPONSE)
+    sk_bytes = exponent_size_bytes(authority.params)
+
+    formula_upload = k * n * w                       # paper: k x n x |w|
+    loss_upload = m * 2 * w                          # per-sample log-p keys
+    formula_download = k * (sk_bytes + n * w)        # paper: k x |sk|
+    loss_download = m * (sk_bytes + 2 * w)
+
+    rows = [
+        ["upload (measured)", str(upload)],
+        ["  = k*n*|w| (paper formula)", str(formula_upload)],
+        ["  + per-sample loss keys", str(loss_upload)],
+        ["download (measured)", str(download)],
+        ["  = k*|sk| + bound vectors", str(formula_download)],
+        ["  + per-sample loss keys", str(loss_download)],
+        ["febo key traffic (bytes)",
+         str(authority.traffic.total_bytes(kind=protocol.KIND_FEBO_KEY_REQUEST)
+             + authority.traffic.total_bytes(kind=protocol.KIND_FEBO_KEY_RESPONSE))],
+    ]
+    write_report("communication_overhead",
+                 series_table(["quantity", "bytes/iteration"], rows))
+
+    assert upload == formula_upload + loss_upload
+    assert download == formula_download + loss_download

@@ -1,0 +1,88 @@
+"""Figure 3: time cost of element-wise ADDITION in secure matrix computation.
+
+Panels: (a) pre-processing for encryption, (b) pre-processing for the
+function key, (c) serial secure addition, (d) parallelized secure
+addition -- swept over element count for three value ranges.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import (
+    ELEMENTWISE_COUNTS,
+    VALUE_RANGES,
+    random_int_matrix,
+    series_table,
+    write_report,
+)
+from benchmarks.harness import measure_elementwise
+from repro.matrix.secure_matrix import SecureMatrixScheme, matrix_bound_elementwise
+from repro.mathutils.dlog import SolverCache
+
+
+@pytest.fixture()
+def scheme(bench_params, bench_rng):
+    s = SecureMatrixScheme(bench_params, rng=bench_rng,
+                           solver_cache=SolverCache())
+    return s
+
+
+def test_febo_encrypt_row(benchmark, scheme, bench_rng):
+    """Panel (a) unit op: FEBO-encrypting one 100-element row."""
+    scheme.setup(column_length=1)
+    x = random_int_matrix(bench_rng, 1, 100, (-100, 100))
+    benchmark(lambda: scheme.pre_process_encryption(x, with_feip=False))
+
+
+def test_febo_key_derive_row(benchmark, scheme, bench_rng):
+    """Panel (b) unit op: deriving 100 addition keys."""
+    _, msk_bo = scheme.setup(column_length=1)
+    x = random_int_matrix(bench_rng, 1, 100, (-100, 100))
+    y = random_int_matrix(bench_rng, 1, 100, (-100, 100))
+    enc = scheme.pre_process_encryption(x, with_feip=False)
+    benchmark(lambda: scheme.derive_elementwise_keys(msk_bo, "+", y,
+                                                     enc.commitments()))
+
+
+def test_secure_addition_row(benchmark, scheme, bench_rng):
+    """Panel (c) unit op: 100 secure additions (serial)."""
+    _, msk_bo = scheme.setup(column_length=1)
+    x = random_int_matrix(bench_rng, 1, 100, (-100, 100))
+    y = random_int_matrix(bench_rng, 1, 100, (-100, 100))
+    enc = scheme.pre_process_encryption(x, with_feip=False)
+    keys = scheme.derive_elementwise_keys(msk_bo, "+", y, enc.commitments())
+    bound = matrix_bound_elementwise("+", 100, 100)
+    benchmark(lambda: scheme.secure_elementwise(enc, keys, bound))
+
+
+def test_fig3_series(benchmark, bench_params):
+    """Full Figure 3 sweep; writes benchmarks/results/fig3_addition.txt."""
+
+    def sweep():
+        points = []
+        for value_range in VALUE_RANGES:
+            for count in ELEMENTWISE_COUNTS:
+                points.append(
+                    measure_elementwise(bench_params, "+", count, value_range)
+                )
+        return points
+
+    points = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [
+        [str(p.value_range), str(p.count), f"{p.encrypt_s * 1e3:.1f}",
+         f"{p.key_derive_s * 1e3:.1f}", f"{p.secure_s:.3f}",
+         f"{p.parallel_s:.3f}"]
+        for p in points
+    ]
+    write_report("fig3_addition", series_table(
+        ["range", "#add", "enc (ms)", "keyder (ms)", "secure (s)",
+         "parallel (s)"], rows))
+    # paper shape assertions: linear growth, parallel speedup on the
+    # largest size
+    largest = [p for p in points if p.count == ELEMENTWISE_COUNTS[-1]]
+    smallest = [p for p in points if p.count == ELEMENTWISE_COUNTS[0]]
+    ratio = ELEMENTWISE_COUNTS[-1] / ELEMENTWISE_COUNTS[0]
+    for big, small in zip(largest, smallest):
+        assert big.encrypt_s > small.encrypt_s
+        assert big.secure_s / max(small.secure_s, 1e-9) > ratio / 4

@@ -1,0 +1,74 @@
+"""Figure 4: time cost of element-wise MULTIPLICATION.
+
+Same four panels as Figure 3 with delta = '*'.  The paper's serial
+multiplication is dramatically slower than addition (minutes vs seconds)
+because the result magnitude -- and hence the discrete-log search window
+-- grows with the product of the operand ranges; the sweep should
+reproduce that multiplication/addition gap.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import (
+    ELEMENTWISE_COUNTS,
+    VALUE_RANGES,
+    random_int_matrix,
+    series_table,
+    write_report,
+)
+from benchmarks.harness import measure_elementwise
+from repro.matrix.secure_matrix import SecureMatrixScheme, matrix_bound_elementwise
+from repro.mathutils.dlog import SolverCache
+
+
+@pytest.fixture()
+def scheme(bench_params, bench_rng):
+    return SecureMatrixScheme(bench_params, rng=bench_rng,
+                              solver_cache=SolverCache())
+
+
+def test_secure_multiplication_row(benchmark, scheme, bench_rng):
+    """Unit op: 100 secure multiplications (serial)."""
+    _, msk_bo = scheme.setup(column_length=1)
+    x = random_int_matrix(bench_rng, 1, 100, (-100, 100))
+    y = random_int_matrix(bench_rng, 1, 100, (-100, 100))
+    enc = scheme.pre_process_encryption(x, with_feip=False)
+    keys = scheme.derive_elementwise_keys(msk_bo, "*", y, enc.commitments())
+    bound = matrix_bound_elementwise("*", 100, 100)
+    benchmark(lambda: scheme.secure_elementwise(enc, keys, bound))
+
+
+def test_fig4_series(benchmark, bench_params):
+    """Full Figure 4 sweep; writes benchmarks/results/fig4_multiplication.txt."""
+
+    def sweep():
+        points = []
+        for value_range in VALUE_RANGES:
+            for count in ELEMENTWISE_COUNTS:
+                points.append(
+                    measure_elementwise(bench_params, "*", count, value_range)
+                )
+        return points
+
+    points = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [
+        [str(p.value_range), str(p.count), f"{p.encrypt_s * 1e3:.1f}",
+         f"{p.key_derive_s * 1e3:.1f}", f"{p.secure_s:.3f}",
+         f"{p.parallel_s:.3f}"]
+        for p in points
+    ]
+    write_report("fig4_multiplication", series_table(
+        ["range", "#mul", "enc (ms)", "keyder (ms)", "secure (s)",
+         "parallel (s)"], rows))
+
+    # paper shape: larger value ranges cost more (bigger dlog window);
+    # the [-1000,1000] series must dominate the [-10,10] one
+    biggest_count = ELEMENTWISE_COUNTS[-1]
+    small_range = next(p for p in points
+                       if p.count == biggest_count and p.value_range == (-10, 10))
+    large_range = next(p for p in points
+                       if p.count == biggest_count
+                       and p.value_range == (-1000, 1000))
+    assert large_range.secure_s > small_range.secure_s

@@ -1,0 +1,87 @@
+"""Figure 5: time cost of DOT-PRODUCT in secure matrix computation.
+
+Panels: (a) encryption, (b) function-key derivation, (c) serial secure
+dot product, (d) parallelized -- for vector lengths l in {10, 100} and
+value ranges [1,10], [1,100].
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import (
+    DOT_CONFIGS,
+    DOT_COUNTS,
+    random_int_matrix,
+    series_table,
+    write_report,
+)
+from benchmarks.harness import measure_dot
+from repro.matrix.secure_matrix import SecureMatrixScheme, matrix_bound_dot
+from repro.mathutils.dlog import SolverCache
+
+
+@pytest.fixture()
+def scheme(bench_params, bench_rng):
+    return SecureMatrixScheme(bench_params, rng=bench_rng,
+                              solver_cache=SolverCache())
+
+
+def test_feip_encrypt_columns(benchmark, scheme, bench_rng):
+    """Panel (a) unit op: encrypting 50 columns of length 10."""
+    scheme.setup(column_length=10)
+    x = random_int_matrix(bench_rng, 10, 50, (1, 100))
+    benchmark(lambda: scheme.pre_process_encryption(x, with_febo=False))
+
+
+def test_feip_key_derive(benchmark, scheme, bench_rng):
+    """Panel (b) unit op: deriving 10 keys of length 100."""
+    msk_ip, _ = scheme.setup(column_length=100)
+    y = random_int_matrix(bench_rng, 10, 100, (1, 100))
+    benchmark(lambda: scheme.derive_dot_keys(msk_ip, y))
+
+
+def test_secure_dot_block(benchmark, scheme, bench_rng):
+    """Panel (c) unit op: 50 inner products of length 10 (serial)."""
+    msk_ip, _ = scheme.setup(column_length=10)
+    x = random_int_matrix(bench_rng, 10, 50, (1, 10))
+    y = random_int_matrix(bench_rng, 1, 10, (1, 10))
+    enc = scheme.pre_process_encryption(x, with_febo=False)
+    keys = scheme.derive_dot_keys(msk_ip, y)
+    bound = matrix_bound_dot(10, 10, 10)
+    benchmark(lambda: scheme.secure_dot(enc, keys, bound))
+
+
+def test_fig5_series(benchmark, bench_params):
+    """Full Figure 5 sweep; writes benchmarks/results/fig5_dotproduct.txt."""
+
+    def sweep():
+        points = []
+        for vector_length, value_range in DOT_CONFIGS:
+            for count in DOT_COUNTS:
+                points.append(
+                    measure_dot(bench_params, vector_length, count, value_range)
+                )
+        return points
+
+    points = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [
+        [f"l={p.vector_length}", f"v={p.value_range}", str(p.count),
+         f"{p.encrypt_s:.3f}", f"{p.key_derive_s * 1e3:.1f}",
+         f"{p.secure_s:.3f}", f"{p.parallel_s:.3f}"]
+        for p in points
+    ]
+    write_report("fig5_dotproduct", series_table(
+        ["l", "range", "#dot", "enc (s)", "keyder (ms)", "secure (s)",
+         "parallel (s)"], rows))
+
+    # paper shape: l=100 encryption costs ~10x the l=10 one at equal count
+    count = DOT_COUNTS[-1]
+    l10 = next(p for p in points
+               if p.count == count and p.vector_length == 10
+               and p.value_range == (1, 10))
+    l100 = next(p for p in points
+                if p.count == count and p.vector_length == 100
+                and p.value_range == (1, 10))
+    assert l100.encrypt_s > 3 * l10.encrypt_s
+    assert l100.secure_s > l10.secure_s

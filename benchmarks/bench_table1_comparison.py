@@ -1,0 +1,17 @@
+"""Table I: qualitative comparison of privacy-preserving ML approaches.
+
+Static taxonomy regenerated from :mod:`repro.core.related_work` so every
+table in the paper has a harness entry.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import write_report
+from repro.core.related_work import TABLE_I, format_table_i
+
+
+def test_table1_regeneration(benchmark):
+    text = benchmark(format_table_i)
+    write_report("table1_comparison", text.splitlines())
+    assert len(TABLE_I) == 8
+    assert "CryptoNN" in text

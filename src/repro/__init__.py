@@ -1,0 +1,26 @@
+"""repro -- a from-scratch reproduction of CryptoNN (ICDCS 2019).
+
+CryptoNN trains neural networks over functionally-encrypted data.  The
+package is layered bottom-up:
+
+* :mod:`repro.mathutils` -- groups, primes, discrete logs, fixed point.
+* :mod:`repro.fe` -- the FEIP and FEBO functional-encryption schemes.
+* :mod:`repro.matrix` -- secure matrix computation and secure convolution.
+* :mod:`repro.nn` -- a plain NumPy neural-network library (the baseline).
+* :mod:`repro.data` -- synthetic datasets and pre-processing.
+* :mod:`repro.core` -- the CryptoNN framework: authority / client / server
+  entities, secure layers, and the CryptoNN / CryptoCNN trainers.
+
+Quickstart::
+
+    from repro.fe import Feip
+    from repro.mathutils import GroupParams
+
+    scheme = Feip(GroupParams.predefined(256))
+    mpk, msk = scheme.setup(eta=3)
+    ct = scheme.encrypt(mpk, [1, 2, 3])
+    sk = scheme.key_derive(msk, [10, 20, 30])
+    assert scheme.decrypt(mpk, ct, sk, bound=1000) == 140
+"""
+
+__version__ = "1.0.0"

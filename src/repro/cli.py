@@ -1,0 +1,207 @@
+"""Command-line interface for the CryptoNN reproduction.
+
+Exposes the three-entity workflow as file-based commands so each role
+can be run from a separate shell (or machine, with the files shipped):
+
+    python -m repro keygen    --out authority.json
+    python -m repro encrypt   --authority authority.json --out data.json
+    python -m repro train     --authority authority.json --data data.json \
+                              --model-out model.npz
+    python -m repro evaluate  --authority authority.json --data data.json \
+                              --model model.npz
+    python -m repro demo
+    python -m repro info
+
+SECURITY: the authority file holds master secret keys -- in a real
+deployment it never leaves the authority.  The CLI keeps everything in
+files purely to make the roles tangible.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+
+import numpy as np
+
+from repro import __version__
+from repro.core.checkpoint import (
+    load_authority,
+    load_encrypted_tabular,
+    load_model_weights,
+    save_authority,
+    save_encrypted_tabular,
+    save_model_weights,
+)
+from repro.core.config import CryptoNNConfig
+from repro.core.cryptonn import CryptoNNTrainer
+from repro.core.entities import Client, TrustedAuthority
+from repro.data.tabular import load_clinics, merge_shards
+from repro.mathutils.group import _PREDEFINED
+from repro.nn.layers import Dense, ReLU
+from repro.nn.model import Sequential
+from repro.nn.optimizers import SGD
+
+
+def _build_model(n_features: int, hidden: int, num_classes: int,
+                 seed: int) -> Sequential:
+    rng = np.random.default_rng(seed)
+    return Sequential([
+        Dense(n_features, hidden, rng=rng),
+        ReLU(),
+        Dense(hidden, num_classes, rng=rng),
+    ])
+
+
+# -- subcommands -----------------------------------------------------------------
+
+def cmd_info(args: argparse.Namespace) -> int:
+    print(f"repro {__version__} -- CryptoNN (ICDCS 2019) reproduction")
+    print(f"predefined group sizes: {sorted(_PREDEFINED)} bits")
+    print("paper settings: 256-bit group, fixed-point scale 100")
+    return 0
+
+
+def cmd_keygen(args: argparse.Namespace) -> int:
+    config = CryptoNNConfig(security_bits=args.bits, scale=args.scale)
+    authority = TrustedAuthority(config, rng=random.Random(args.seed))
+    # pre-generate the pairs the standard workflow needs
+    authority.feip_public_key(args.features)
+    authority.feip_public_key(args.classes)
+    authority.febo_public_key()
+    save_authority(authority, args.out)
+    print(f"authority written to {args.out} "
+          f"({args.bits}-bit group, scale {args.scale})")
+    print("WARNING: this file contains master secret keys")
+    return 0
+
+
+def cmd_encrypt(args: argparse.Namespace) -> int:
+    authority = load_authority(args.authority,
+                               rng=random.Random(args.seed))
+    shards = load_clinics(n_clinics=args.clinics,
+                          samples_per_clinic=args.samples,
+                          n_features=args.features, seed=args.seed)
+    merged = merge_shards(shards)
+    x = np.clip(merged.x / (np.abs(merged.x).max() + 1e-9), -1, 1)
+    client = Client(authority)
+    dataset = client.encrypt_tabular(x, merged.y, num_classes=args.classes)
+    save_encrypted_tabular(dataset, args.out)
+    print(f"encrypted {len(dataset)} samples "
+          f"({args.features} features, {args.classes} classes) -> {args.out}")
+    return 0
+
+
+def cmd_train(args: argparse.Namespace) -> int:
+    authority = load_authority(args.authority, rng=random.Random(args.seed))
+    dataset = load_encrypted_tabular(args.data)
+    model = _build_model(dataset.n_features, args.hidden,
+                         dataset.num_classes, args.seed)
+    trainer = CryptoNNTrainer(model, authority)
+    history = trainer.fit(
+        dataset, SGD(args.learning_rate), epochs=args.epochs,
+        batch_size=args.batch_size, rng=np.random.default_rng(args.seed),
+        on_batch=lambda i, loss, acc: print(
+            f"  iter {i:4d}  loss={loss:.4f}  batch-acc={acc:.2f}"),
+    )
+    accuracy = trainer.evaluate(dataset)
+    print(f"final training accuracy: {accuracy:.2%}")
+    print(f"decrypt counters: {trainer.counters.snapshot()}")
+    if args.model_out:
+        save_model_weights(model, args.model_out)
+        print(f"model weights -> {args.model_out}")
+    return 0
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    authority = load_authority(args.authority, rng=random.Random(args.seed))
+    dataset = load_encrypted_tabular(args.data)
+    model = _build_model(dataset.n_features, args.hidden,
+                         dataset.num_classes, args.seed)
+    load_model_weights(model, args.model)
+    trainer = CryptoNNTrainer(model, authority)
+    print(f"accuracy over encrypted data: {trainer.evaluate(dataset):.2%}")
+    return 0
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    """End-to-end demo in one process (no files)."""
+    config = CryptoNNConfig()
+    authority = TrustedAuthority(config, rng=random.Random(0))
+    shard = load_clinics(n_clinics=1, samples_per_clinic=args.samples,
+                         n_features=6, seed=0)[0]
+    x = np.clip(shard.x / (np.abs(shard.x).max() + 1e-9), -1, 1)
+    dataset = Client(authority).encrypt_tabular(x, shard.y, num_classes=2)
+    model = _build_model(6, 8, 2, seed=0)
+    trainer = CryptoNNTrainer(model, authority)
+    trainer.fit(dataset, SGD(0.5), epochs=3, batch_size=20,
+                rng=np.random.default_rng(1))
+    print(f"demo: trained over {len(dataset)} encrypted samples, "
+          f"accuracy {trainer.evaluate(dataset):.2%}")
+    return 0
+
+
+# -- parser ------------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="CryptoNN reproduction CLI")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="version and configuration info") \
+        .set_defaults(func=cmd_info)
+
+    p = sub.add_parser("keygen", help="create an authority (master keys)")
+    p.add_argument("--out", required=True)
+    p.add_argument("--bits", type=int, default=64,
+                   help="group size; 256 matches the paper")
+    p.add_argument("--scale", type=int, default=100)
+    p.add_argument("--features", type=int, default=8)
+    p.add_argument("--classes", type=int, default=2)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_keygen)
+
+    p = sub.add_parser("encrypt", help="generate + encrypt clinic data")
+    p.add_argument("--authority", required=True)
+    p.add_argument("--out", required=True)
+    p.add_argument("--clinics", type=int, default=3)
+    p.add_argument("--samples", type=int, default=60)
+    p.add_argument("--features", type=int, default=8)
+    p.add_argument("--classes", type=int, default=2)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_encrypt)
+
+    p = sub.add_parser("train", help="train over an encrypted dataset")
+    p.add_argument("--authority", required=True)
+    p.add_argument("--data", required=True)
+    p.add_argument("--model-out")
+    p.add_argument("--hidden", type=int, default=16)
+    p.add_argument("--epochs", type=int, default=3)
+    p.add_argument("--batch-size", type=int, default=20)
+    p.add_argument("--learning-rate", type=float, default=0.5)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_train)
+
+    p = sub.add_parser("evaluate", help="evaluate saved weights")
+    p.add_argument("--authority", required=True)
+    p.add_argument("--data", required=True)
+    p.add_argument("--model", required=True)
+    p.add_argument("--hidden", type=int, default=16)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_evaluate)
+
+    p = sub.add_parser("demo", help="one-process end-to-end demo")
+    p.add_argument("--samples", type=int, default=100)
+    p.set_defaults(func=cmd_demo)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,30 @@
+"""The CryptoNN framework (paper Section III).
+
+Ties the crypto substrate, the secure matrix/convolution schemes and the
+NN library together into the paper's three-entity architecture:
+
+* :mod:`repro.core.entities` -- TrustedAuthority / Client / Server;
+* :mod:`repro.core.protocol` -- typed messages and traffic accounting;
+* :mod:`repro.core.secure_layers` -- secure feed-forward input layers and
+  secure back-propagation/evaluation losses;
+* :mod:`repro.core.cryptonn` -- Algorithm 2, the general trainer for
+  fully-connected models;
+* :mod:`repro.core.cryptocnn` -- the CryptoCNN instantiation (Section
+  III-E) with the secure convolution first layer.
+"""
+
+from repro.core.config import CryptoNNConfig
+from repro.core.cryptocnn import CryptoCNNTrainer
+from repro.core.cryptonn import CryptoNNTrainer
+from repro.core.entities import Client, Server, TrustedAuthority
+from repro.core.protocol import TrafficLog
+
+__all__ = [
+    "Client",
+    "CryptoCNNTrainer",
+    "CryptoNNConfig",
+    "CryptoNNTrainer",
+    "Server",
+    "TrafficLog",
+    "TrustedAuthority",
+]

@@ -1,0 +1,178 @@
+"""Persistence for models and encrypted datasets.
+
+Clients encrypt once and may ship the ciphertexts to the server through
+any channel -- including disk.  This module round-trips the encrypted
+containers (JSON, via :mod:`repro.core.serialization`) and model weights
+(``.npz``), so the training side can checkpoint and resume.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import random
+
+import numpy as np
+
+from repro.core import serialization as ser
+from repro.core.config import CryptoNNConfig
+from repro.core.encdata import (
+    EncryptedLabel,
+    EncryptedSample,
+    EncryptedTabularDataset,
+)
+from repro.core.entities import TrustedAuthority
+from repro.fe.keys import FeboMasterKey, FeboPublicKey, FeipMasterKey, FeipPublicKey
+from repro.nn.model import Sequential
+
+
+# -- model weights -----------------------------------------------------------
+
+def save_model_weights(model: Sequential, path: str | pathlib.Path) -> None:
+    """Write all layer parameters to a compressed ``.npz`` archive."""
+    arrays: dict[str, np.ndarray] = {}
+    for i, layer in enumerate(model.layers):
+        for name, value in layer.params.items():
+            arrays[f"layer{i}.{name}"] = value
+    np.savez_compressed(path, **arrays)
+
+
+def load_model_weights(model: Sequential, path: str | pathlib.Path) -> None:
+    """Load parameters saved by :func:`save_model_weights` into ``model``.
+
+    The model must have the same architecture (layer count, param shapes).
+    """
+    with np.load(path) as archive:
+        for i, layer in enumerate(model.layers):
+            for name, param in layer.params.items():
+                key = f"layer{i}.{name}"
+                if key not in archive:
+                    raise KeyError(f"checkpoint is missing {key}")
+                stored = archive[key]
+                if stored.shape != param.shape:
+                    raise ValueError(
+                        f"{key} shape {stored.shape} != model {param.shape}"
+                    )
+                param[...] = stored
+
+
+# -- encrypted tabular datasets ------------------------------------------------
+
+def _sample_to_dict(sample: EncryptedSample) -> dict:
+    return {
+        "ip": ser.feip_ciphertext_to_dict(sample.features_ip),
+        "bo": [ser.febo_ciphertext_to_dict(c) for c in sample.features_bo],
+    }
+
+
+def _sample_from_dict(data: dict) -> EncryptedSample:
+    return EncryptedSample(
+        features_ip=ser.feip_ciphertext_from_dict(data["ip"]),
+        features_bo=tuple(ser.febo_ciphertext_from_dict(c)
+                          for c in data["bo"]),
+    )
+
+
+def _label_to_dict(label: EncryptedLabel) -> dict:
+    return {
+        "ip": ser.feip_ciphertext_to_dict(label.onehot_ip),
+        "bo": [ser.febo_ciphertext_to_dict(c) for c in label.onehot_bo],
+    }
+
+
+def _label_from_dict(data: dict) -> EncryptedLabel:
+    return EncryptedLabel(
+        onehot_ip=ser.feip_ciphertext_from_dict(data["ip"]),
+        onehot_bo=tuple(ser.febo_ciphertext_from_dict(c)
+                        for c in data["bo"]),
+    )
+
+
+def save_encrypted_tabular(dataset: EncryptedTabularDataset,
+                           path: str | pathlib.Path) -> None:
+    """Serialize an encrypted tabular dataset to a JSON file.
+
+    ``eval_labels`` (the harness-only ground truth) is included when
+    present; a real client shipping data to an untrusted server would
+    strip it first.
+    """
+    payload = {
+        "format": "repro.encrypted-tabular.v1",
+        "num_classes": dataset.num_classes,
+        "n_features": dataset.n_features,
+        "scale": dataset.scale,
+        "samples": [_sample_to_dict(s) for s in dataset.samples],
+        "labels": [_label_to_dict(l) for l in dataset.labels],
+        "eval_labels": (dataset.eval_labels.tolist()
+                        if dataset.eval_labels is not None else None),
+    }
+    pathlib.Path(path).write_text(json.dumps(payload))
+
+
+def load_encrypted_tabular(path: str | pathlib.Path) -> EncryptedTabularDataset:
+    """Inverse of :func:`save_encrypted_tabular`."""
+    payload = json.loads(pathlib.Path(path).read_text())
+    if payload.get("format") != "repro.encrypted-tabular.v1":
+        raise ValueError(f"not an encrypted-tabular checkpoint: {path}")
+    eval_labels = payload["eval_labels"]
+    return EncryptedTabularDataset(
+        samples=[_sample_from_dict(s) for s in payload["samples"]],
+        labels=[_label_from_dict(l) for l in payload["labels"]],
+        num_classes=int(payload["num_classes"]),
+        n_features=int(payload["n_features"]),
+        scale=int(payload["scale"]),
+        eval_labels=(np.asarray(eval_labels, dtype=np.int64)
+                     if eval_labels is not None else None),
+    )
+
+
+# -- authority state -------------------------------------------------------------
+
+def save_authority(authority: TrustedAuthority,
+                   path: str | pathlib.Path) -> None:
+    """Persist the authority's master keys.
+
+    SECURITY: this file *is* the master secret key material.  It exists
+    so the CLI / multi-process experiments can resume a crypto context;
+    treat it like a private key file.
+    """
+    payload = {
+        "format": "repro.authority.v1",
+        "security_bits": authority.config.security_bits,
+        "scale": authority.config.scale,
+        "max_abs_feature": authority.config.max_abs_feature,
+        "max_abs_weight": authority.config.max_abs_weight,
+        "febo_msk": authority._febo_pair[1].s,
+        "feip_msks": {
+            str(eta): list(msk.s)
+            for eta, (_, msk) in authority._feip_pairs.items()
+        },
+    }
+    pathlib.Path(path).write_text(json.dumps(payload))
+
+
+def load_authority(path: str | pathlib.Path,
+                   rng: random.Random | None = None) -> TrustedAuthority:
+    """Rebuild a :class:`TrustedAuthority` from :func:`save_authority`."""
+    payload = json.loads(pathlib.Path(path).read_text())
+    if payload.get("format") != "repro.authority.v1":
+        raise ValueError(f"not an authority checkpoint: {path}")
+    config = CryptoNNConfig(
+        security_bits=int(payload["security_bits"]),
+        scale=int(payload["scale"]),
+        max_abs_feature=float(payload["max_abs_feature"]),
+        max_abs_weight=float(payload["max_abs_weight"]),
+    )
+    authority = TrustedAuthority(config, rng=rng)
+    group = authority.feip.group
+    febo_s = int(payload["febo_msk"])
+    authority._febo_pair = (
+        FeboPublicKey(params=authority.params, h=group.gexp(febo_s)),
+        FeboMasterKey(s=febo_s),
+    )
+    for eta_str, s_list in payload["feip_msks"].items():
+        s = tuple(int(v) for v in s_list)
+        mpk = FeipPublicKey(params=authority.params,
+                            h=tuple(group.gexp(si) for si in s))
+        authority._feip_pairs[int(eta_str)] = (mpk, FeipMasterKey(s=s))
+    return authority

@@ -1,0 +1,83 @@
+"""Configuration for CryptoNN training runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mathutils.encoding import PAPER_SCALE
+from repro.mathutils.group import PAPER_SECURITY_BITS, TOY_SECURITY_BITS
+
+
+def pow2_round_up(value: int) -> int:
+    """Round up to a power of two.
+
+    Discrete-log bounds derived from live weight magnitudes change every
+    iteration; rounding them up to powers of two lets the solver cache
+    reuse its baby-step tables instead of rebuilding per iteration.
+    """
+    if value <= 1:
+        return 1
+    return 1 << (value - 1).bit_length()
+
+
+@dataclass
+class CryptoNNConfig:
+    """Knobs shared by the CryptoNN / CryptoCNN trainers.
+
+    Attributes:
+        security_bits: Schnorr group size.  The paper's experiments use
+            256; the default here is the toy size so tests and scaled
+            benches run quickly (identical code path, see DESIGN.md).
+        scale: fixed-point scale; the paper keeps two decimal places (100).
+        max_abs_feature: clients promise features within this magnitude
+            (inputs normalized to [0, 1] satisfy 1.0).
+        max_abs_weight: server clips first-layer weights to this magnitude
+            so the dot-product dlog bound stays valid and small.
+        cache_reconstructed_features: cache the FEBO-reconstructed scaled
+            features server-side after the first gradient step touching a
+            sample (a rational server would; disable to re-pay the FEBO
+            decryptions every iteration, matching a fully stateless server).
+        key_weight_bytes: |w| in the communication formula.
+        workers: process count for the parallel secure feed-forward
+            (paper Figures 3d/4d/5d).  None runs serially -- the right
+            choice for small batches, where pool startup dominates.
+    """
+
+    security_bits: int = TOY_SECURITY_BITS
+    scale: int = PAPER_SCALE
+    max_abs_feature: float = 1.0
+    max_abs_weight: float = 2.0
+    cache_reconstructed_features: bool = True
+    key_weight_bytes: int = 8
+    workers: int | None = None
+
+    @classmethod
+    def paper(cls) -> "CryptoNNConfig":
+        """The paper's setting: 256-bit group, two-decimal fixed point."""
+        return cls(security_bits=PAPER_SECURITY_BITS, scale=PAPER_SCALE)
+
+    def dot_bound(self, vector_length: int) -> int:
+        """Dlog bound for first-layer dot products / convolutions."""
+        raw = int(
+            vector_length
+            * self.max_abs_feature * self.scale
+            * self.max_abs_weight * self.scale
+        ) + 1
+        return pow2_round_up(raw)
+
+    def product_bound(self) -> int:
+        """Dlog bound for feature x delta FEBO products."""
+        # deltas are gradient entries; they are far below max_abs_weight in
+        # practice, so the weight cap is a safe envelope.
+        raw = int(
+            self.max_abs_feature * self.scale * self.max_abs_weight * self.scale
+        ) + 1
+        return pow2_round_up(raw)
+
+    def label_sub_bound(self) -> int:
+        """Dlog bound for (encrypted label) - (probability) subtraction."""
+        return pow2_round_up(2 * self.scale + 1)
+
+    def loss_bound(self, max_abs_log_prob: float = 40.0) -> int:
+        """Dlog bound for the <y, log p> cross-entropy inner product."""
+        return pow2_round_up(int(max_abs_log_prob * self.scale * self.scale) + 1)

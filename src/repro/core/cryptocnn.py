@@ -1,0 +1,57 @@
+"""CryptoCNN: the convolutional instantiation of CryptoNN (Section III-E).
+
+Identical to :class:`~repro.core.cryptonn.CryptoNNTrainer` except the
+secure feed-forward step is the secure convolution of Algorithm 3: the
+first layer must be :class:`repro.nn.conv.Conv2D` and the dataset must
+have been window-encrypted for the same geometry.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import CryptoNNConfig
+from repro.core.cryptonn import _SecureTrainerBase
+from repro.core.encdata import EncryptedImageDataset
+from repro.core.entities import TrustedAuthority
+from repro.core.secure_layers import SecureConvInput
+from repro.nn.conv import Conv2D
+from repro.nn.model import Sequential
+
+
+class CryptoCNNTrainer(_SecureTrainerBase):
+    """Secure training for CNNs whose first layer is a convolution."""
+
+    def __init__(self, model: Sequential, authority: TrustedAuthority,
+                 config: CryptoNNConfig | None = None,
+                 loss: str = "cross_entropy"):
+        super().__init__(model, authority, config, loss)
+        first = model.layers[0]
+        if not isinstance(first, Conv2D):
+            raise TypeError(
+                f"CryptoCNNTrainer needs a Conv2D first layer, got {first.name}"
+            )
+        self.secure_input = SecureConvInput(
+            first, authority, self.config, self.counters
+        )
+
+    def _check_geometry(self, dataset: EncryptedImageDataset) -> None:
+        conv = self.secure_input.conv
+        if (dataset.filter_size, dataset.stride, dataset.padding) != (
+            conv.filter_size, conv.stride, conv.padding
+        ):
+            raise ValueError(
+                "dataset was window-encrypted for geometry "
+                f"(f={dataset.filter_size}, s={dataset.stride}, "
+                f"p={dataset.padding}) but the model's first layer uses "
+                f"(f={conv.filter_size}, s={conv.stride}, p={conv.padding})"
+            )
+
+    def _secure_forward(self, dataset: EncryptedImageDataset,
+                        indices: np.ndarray, training: bool) -> np.ndarray:
+        self._check_geometry(dataset)
+        batch = [dataset.images[i] for i in indices]
+        return self.secure_input.forward(batch, indices, training=training)
+
+    def _secure_backward(self, grad: np.ndarray) -> None:
+        self.secure_input.backward(grad)

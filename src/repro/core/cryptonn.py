@@ -1,0 +1,189 @@
+"""The CryptoNN framework trainer (paper Algorithm 2).
+
+For each iteration the trainer
+
+1. derives function keys for the first layer's current weights
+   (``pre-process-key-derive``),
+2. runs the secure feed-forward step over the encrypted batch
+   (``secure-computation``),
+3. continues the normal feed-forward through the plaintext hidden layers,
+4. derives keys for the current output activations and runs the secure
+   back-propagation / evaluation step against the encrypted labels,
+5. finishes normal back-propagation and updates parameters.
+
+The model is an ordinary :class:`repro.nn.model.Sequential` whose *first*
+layer is wrapped by a secure input layer and whose loss is replaced by a
+secure loss -- everything in between runs unchanged, which is the
+framework's central design point.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.core.config import CryptoNNConfig
+from repro.core.encdata import (
+    DecryptionCounters,
+    EncryptedTabularDataset,
+    batch_indices,
+)
+from repro.core.entities import TrustedAuthority
+from repro.core.secure_layers import (
+    SecureLinearInput,
+    SecureMSE,
+    SecureSoftmaxCrossEntropy,
+)
+from repro.nn.activations import softmax
+from repro.nn.layers import Dense
+from repro.nn.metrics import accuracy
+from repro.nn.model import Sequential, TrainingHistory
+from repro.nn.optimizers import Optimizer
+
+
+class _SecureTrainerBase:
+    """Shared fit/evaluate loop for CryptoNN and CryptoCNN."""
+
+    def __init__(self, model: Sequential, authority: TrustedAuthority,
+                 config: CryptoNNConfig | None = None,
+                 loss: str = "cross_entropy"):
+        self.model = model
+        self.authority = authority
+        self.config = config or authority.config
+        self.counters = DecryptionCounters()
+        if loss == "cross_entropy":
+            self.secure_loss = SecureSoftmaxCrossEntropy(
+                authority, self.config, self.counters
+            )
+        elif loss == "mse":
+            self.secure_loss = SecureMSE(authority, self.config, self.counters)
+        else:
+            raise ValueError(f"unknown loss {loss!r}")
+        self.loss_name = loss
+
+    # subclasses provide these two hooks -----------------------------------
+    def _secure_forward(self, dataset, indices: np.ndarray,
+                        training: bool) -> np.ndarray:
+        raise NotImplementedError
+
+    def _secure_backward(self, grad: np.ndarray) -> None:
+        raise NotImplementedError
+
+    # -- shared loop ---------------------------------------------------------
+    def _plain_tail_forward(self, z: np.ndarray, training: bool) -> np.ndarray:
+        out = z
+        for layer in self.model.layers[1:]:
+            out = layer.forward(out, training=training)
+        return out
+
+    def train_batch(self, dataset, indices: np.ndarray,
+                    optimizer: Optimizer) -> tuple[float, np.ndarray]:
+        """One secure training iteration; returns (loss, output scores)."""
+        labels = [dataset.labels[i] for i in indices]
+        z = self._secure_forward(dataset, indices, training=True)
+        out = self._plain_tail_forward(z, training=True)
+        loss_value = self.secure_loss.forward(out, labels)
+        grad = self.secure_loss.backward(labels)
+        for layer in reversed(self.model.layers[1:]):
+            grad = layer.backward(grad)
+        self._secure_backward(grad)
+        optimizer.step(self.model.layers)
+        return loss_value, out
+
+    def fit(self, dataset, optimizer: Optimizer, epochs: int = 1,
+            batch_size: int = 64, rng: np.random.Generator | None = None,
+            shuffle: bool = True, max_batches: int | None = None,
+            on_batch: Callable[[int, float, float], None] | None = None
+            ) -> TrainingHistory:
+        """Mini-batch training over an encrypted dataset.
+
+        ``max_batches`` caps the *total* number of iterations (useful for
+        the scaled Figure 6 experiment).  Batch accuracy is computed
+        against the harness-only ``eval_labels`` when present, else NaN.
+        """
+        history = TrainingHistory()
+        batch_counter = 0
+        for _ in range(epochs):
+            epoch_losses: list[float] = []
+            epoch_accs: list[float] = []
+            for indices in batch_indices(len(dataset), batch_size, rng, shuffle):
+                if max_batches is not None and batch_counter >= max_batches:
+                    break
+                loss_value, out = self.train_batch(dataset, indices, optimizer)
+                if dataset.eval_labels is not None:
+                    batch_acc = accuracy(out, dataset.eval_labels[indices])
+                else:
+                    batch_acc = float("nan")
+                history.batch_loss.append(loss_value)
+                history.batch_accuracy.append(batch_acc)
+                epoch_losses.append(loss_value)
+                epoch_accs.append(batch_acc)
+                if on_batch is not None:
+                    on_batch(batch_counter, loss_value, batch_acc)
+                batch_counter += 1
+            if epoch_losses:
+                history.epoch_loss.append(float(np.mean(epoch_losses)))
+                history.epoch_accuracy.append(float(np.mean(epoch_accs)))
+        return history
+
+    def predict(self, dataset, indices: np.ndarray | None = None) -> np.ndarray:
+        """FE-based prediction (paper Section III-D "Prediction").
+
+        Secure feed-forward + plaintext tail; returns class scores
+        (softmax probabilities for cross-entropy models, raw outputs for
+        MSE models).  The server learns the scores -- the paper's stated
+        difference from HE-based prediction.
+        """
+        if indices is None:
+            indices = np.arange(len(dataset))
+        z = self._secure_forward(dataset, indices, training=False)
+        out = self._plain_tail_forward(z, training=False)
+        if self.loss_name == "cross_entropy":
+            return softmax(out, axis=1)
+        return out
+
+    def evaluate(self, dataset, indices: np.ndarray | None = None,
+                 batch_size: int = 64) -> float:
+        """Accuracy against the harness-only labels."""
+        if dataset.eval_labels is None:
+            raise ValueError("dataset carries no evaluation labels")
+        if indices is None:
+            indices = np.arange(len(dataset))
+        correct = 0
+        for start in range(0, len(indices), batch_size):
+            chunk = indices[start:start + batch_size]
+            scores = self.predict(dataset, chunk)
+            correct += int(
+                (scores.argmax(axis=1) == dataset.eval_labels[chunk]).sum()
+            )
+        return correct / len(indices)
+
+
+class CryptoNNTrainer(_SecureTrainerBase):
+    """Algorithm 2 for fully-connected models over encrypted tabular data.
+
+    The model's first layer must be :class:`repro.nn.layers.Dense`; its
+    input dimension must match the encrypted feature length.
+    """
+
+    def __init__(self, model: Sequential, authority: TrustedAuthority,
+                 config: CryptoNNConfig | None = None,
+                 loss: str = "cross_entropy"):
+        super().__init__(model, authority, config, loss)
+        first = model.layers[0]
+        if not isinstance(first, Dense):
+            raise TypeError(
+                f"CryptoNNTrainer needs a Dense first layer, got {first.name}"
+            )
+        self.secure_input = SecureLinearInput(
+            first, authority, self.config, self.counters
+        )
+
+    def _secure_forward(self, dataset: EncryptedTabularDataset,
+                        indices: np.ndarray, training: bool) -> np.ndarray:
+        batch = [dataset.samples[i] for i in indices]
+        return self.secure_input.forward(batch, indices, training=training)
+
+    def _secure_backward(self, grad: np.ndarray) -> None:
+        self.secure_input.backward(grad)

@@ -1,0 +1,131 @@
+"""Simulated network channel with latency and failure injection.
+
+The paper's prototype (like this reproduction) runs all three entities
+in one process, but its pitch against SMC-based systems is precisely
+about *communication*: CryptoNN needs only key-request round trips, not
+multi-round secure protocols.  This module provides a deterministic
+discrete-event channel so experiments can attach realistic latency and
+loss to every logical message, measure their effect on wall-clock
+training-time estimates, and exercise retry logic.
+
+Nothing here transports real bytes -- it wraps the in-process calls the
+entities already make and advances a simulated clock.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, TypeVar
+
+T = TypeVar("T")
+
+
+class ChannelError(Exception):
+    """A simulated message loss that exhausted its retries."""
+
+
+@dataclass
+class LatencyModel:
+    """Per-message latency: ``base + uniform(0, jitter)`` seconds.
+
+    ``bandwidth_bytes_per_s`` adds a size-proportional term, so shipping
+    a 10 MB encrypted dataset costs more simulated time than a 100-byte
+    key request.
+    """
+
+    base_s: float = 0.001
+    jitter_s: float = 0.0
+    bandwidth_bytes_per_s: float | None = None
+
+    def sample(self, rng: random.Random, n_bytes: int) -> float:
+        latency = self.base_s
+        if self.jitter_s > 0:
+            latency += rng.uniform(0.0, self.jitter_s)
+        if self.bandwidth_bytes_per_s:
+            latency += n_bytes / self.bandwidth_bytes_per_s
+        return latency
+
+
+@dataclass
+class SimulatedChannel:
+    """A lossy, slow link between two entities.
+
+    Args:
+        latency: latency model applied per attempt.
+        drop_probability: chance each attempt is lost.
+        max_retries: resend attempts before :class:`ChannelError`.
+        rng: deterministic randomness source.
+    """
+
+    latency: LatencyModel = field(default_factory=LatencyModel)
+    drop_probability: float = 0.0
+    max_retries: int = 3
+    rng: random.Random = field(default_factory=random.Random)
+
+    clock_s: float = 0.0
+    messages_sent: int = 0
+    messages_dropped: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.drop_probability < 1.0:
+            raise ValueError("drop_probability must be in [0, 1)")
+
+    def send(self, n_bytes: int, deliver: Callable[[], T]) -> T:
+        """Deliver a message of ``n_bytes``, retrying on simulated loss.
+
+        ``deliver`` is the in-process call standing in for the receiver's
+        handler; it runs exactly once, after a successful attempt.
+        """
+        for attempt in range(self.max_retries + 1):
+            self.messages_sent += 1
+            self.clock_s += self.latency.sample(self.rng, n_bytes)
+            if self.rng.random() >= self.drop_probability:
+                return deliver()
+            self.messages_dropped += 1
+        raise ChannelError(
+            f"message lost {self.max_retries + 1} times "
+            f"(drop_probability={self.drop_probability})"
+        )
+
+    def round_trip(self, request_bytes: int, response_bytes: int,
+                   deliver: Callable[[], T]) -> T:
+        """A request/response exchange: two directional sends."""
+        result = self.send(request_bytes, deliver)
+        self.send(response_bytes, lambda: None)
+        return result
+
+
+@dataclass
+class NetworkedAuthority:
+    """Wraps a :class:`~repro.core.entities.TrustedAuthority` behind a
+    simulated channel, so key requests cost (simulated) time and may
+    need retries -- the deployment shape the paper's architecture implies.
+    """
+
+    authority: object
+    channel: SimulatedChannel
+
+    def derive_feip_keys(self, rows, requester: str = "server"):
+        from repro.core import serialization as ser
+        eta = len(rows[0]) if rows else 0
+        request_bytes = len(rows) * ser.feip_key_request_wire_size(
+            eta, self.authority.params, self.authority.config.key_weight_bytes)
+        keys = self.channel.round_trip(
+            request_bytes, request_bytes,
+            lambda: self.authority.derive_feip_keys(rows, requester),
+        )
+        return keys
+
+    def derive_febo_keys(self, requests, requester: str = "server"):
+        from repro.core import serialization as ser
+        per = ser.febo_key_request_wire_size(
+            self.authority.params, self.authority.config.key_weight_bytes)
+        return self.channel.round_trip(
+            len(requests) * per, len(requests) * per,
+            lambda: self.authority.derive_febo_keys(requests, requester),
+        )
+
+    @property
+    def simulated_seconds(self) -> float:
+        return self.channel.clock_s

@@ -1,0 +1,84 @@
+"""Protocol messages and traffic accounting.
+
+The CryptoNN entities exchange four message kinds:
+
+* ``public-params`` (authority -> everyone, once),
+* ``encrypted-data`` (client -> server, once per dataset),
+* ``feip-key-request`` / ``feip-key-response`` (server <-> authority, per
+  iteration -- the paper's k x n x |w| up, k x |sk| down),
+* ``febo-key-request`` / ``febo-key-response`` (server <-> authority).
+
+Entities run in-process here (the paper's prototype did too), but every
+logical message is recorded with its byte-accurate wire size in a
+:class:`TrafficLog`, which the communication-overhead bench
+(`benchmarks/bench_communication.py`) compares against the closed-form
+formula of Section IV-B2.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class TrafficRecord:
+    """One logical message."""
+
+    sender: str
+    receiver: str
+    kind: str
+    n_bytes: int
+
+
+@dataclass
+class TrafficLog:
+    """Append-only log of protocol messages with aggregate queries."""
+
+    records: list[TrafficRecord] = field(default_factory=list)
+
+    def record(self, sender: str, receiver: str, kind: str, n_bytes: int) -> None:
+        if n_bytes < 0:
+            raise ValueError("message size cannot be negative")
+        self.records.append(TrafficRecord(sender, receiver, kind, n_bytes))
+
+    def total_bytes(self, sender: str | None = None,
+                    receiver: str | None = None,
+                    kind: str | None = None) -> int:
+        """Sum of message sizes, optionally filtered on any field."""
+        return sum(
+            r.n_bytes
+            for r in self.records
+            if (sender is None or r.sender == sender)
+            and (receiver is None or r.receiver == receiver)
+            and (kind is None or r.kind == kind)
+        )
+
+    def message_count(self, kind: str | None = None) -> int:
+        if kind is None:
+            return len(self.records)
+        return sum(1 for r in self.records if r.kind == kind)
+
+    def by_kind(self) -> dict[str, int]:
+        """Total bytes per message kind."""
+        totals: dict[str, int] = defaultdict(int)
+        for r in self.records:
+            totals[r.kind] += r.n_bytes
+        return dict(totals)
+
+    def clear(self) -> None:
+        self.records.clear()
+
+
+# Canonical entity names used in records.
+AUTHORITY = "authority"
+SERVER = "server"
+CLIENT = "client"
+
+# Message kinds.
+KIND_PUBLIC_PARAMS = "public-params"
+KIND_ENCRYPTED_DATA = "encrypted-data"
+KIND_FEIP_KEY_REQUEST = "feip-key-request"
+KIND_FEIP_KEY_RESPONSE = "feip-key-response"
+KIND_FEBO_KEY_REQUEST = "febo-key-request"
+KIND_FEBO_KEY_RESPONSE = "febo-key-response"

@@ -1,0 +1,398 @@
+"""Secure feed-forward and secure back-propagation/evaluation steps.
+
+These classes implement the two insertions Algorithm 2 makes into normal
+neural-network training (paper Fig. 1):
+
+* **secure feed-forward** -- the computation between the encrypted input
+  and the first hidden layer: :class:`SecureLinearInput` (dot product via
+  FEIP, Section III-D) and :class:`SecureConvInput` (secure convolution
+  via Algorithm 3, Section III-E1);
+* **secure back-propagation / evaluation** -- the computation between the
+  last hidden layer and the encrypted label:
+  :class:`SecureSoftmaxCrossEntropy` (loss as the inner product
+  ``-<y, log p>`` plus gradient ``P - Y`` via element-wise subtraction,
+  Section III-E2) and :class:`SecureMSE` (the Section III-D quadratic
+  cost).
+
+Gradient of the first layer's weights
+-------------------------------------
+``dE/dW1 = delta1 . X^T`` needs the encrypted features.  The paper states
+every label/input-adjacent computation reduces to the permitted function
+set; the element-wise product is the member that applies here.  We request
+FEBO multiplication keys for the feature ciphertexts, decrypt the scaled
+features once per sample, and combine them with the plaintext deltas.
+This stays inside F but *is* the direct-inference capability the paper
+concedes for authorized decryptors (Section III-B remark); CryptoNN's
+framework-level mitigation (random label mapping) protects the labels,
+not the features.  See DESIGN.md "Threat model".
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.config import CryptoNNConfig
+from repro.core.encdata import (
+    DecryptionCounters,
+    EncryptedImage,
+    EncryptedLabel,
+    EncryptedSample,
+)
+from repro.core.entities import TrustedAuthority
+from repro.nn.activations import log_softmax, softmax
+from repro.nn.conv import Conv2D, conv_out_dims, im2col
+from repro.nn.layers import Dense
+from repro.mathutils.dlog import GLOBAL_SOLVER_CACHE, SolverCache
+from repro.mathutils.encoding import FixedPointCodec
+
+
+class _SecureBase:
+    """Shared plumbing: codec, solver cache, counters, authority handle."""
+
+    def __init__(self, authority: TrustedAuthority, config: CryptoNNConfig,
+                 counters: DecryptionCounters | None = None,
+                 solver_cache: SolverCache | None = None):
+        self.authority = authority
+        self.config = config
+        self.codec = FixedPointCodec(config.scale)
+        self.counters = counters or DecryptionCounters()
+        self._cache = solver_cache or GLOBAL_SOLVER_CACHE
+        self._feip = authority.feip
+        self._febo = authority.febo
+
+    def _solver(self, bound: int):
+        return self._cache.get(self._feip.group, bound)
+
+
+class _FeatureReconstructor(_SecureBase):
+    """Recovers scaled features from FEBO ciphertexts for gradient steps.
+
+    Issues one multiplication key + decrypt per element (the identity
+    multiplier keeps the op inside F while avoiding fixed-point loss on
+    tiny gradient entries).  Results are cached per sample index when the
+    config allows, because every epoch revisits every sample.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._feature_cache: dict[int, np.ndarray] = {}
+
+    def _decrypt_elements(self, ciphertexts: Sequence, bound: int) -> list[int]:
+        requests = [(ct.cmt, "*", 1) for ct in ciphertexts]
+        keys = self.authority.derive_febo_keys(requests)
+        self.counters.febo_keys_requested += len(keys)
+        bpk = self.authority.febo_public_key()
+        solver = self._cache.get(self._febo.group, bound)
+        values: list[int] = []
+        for ct, key in zip(ciphertexts, keys):
+            element = self._febo.decrypt_raw(bpk, key, ct)
+            values.append(solver.solve(element))
+            self.counters.febo_decrypts += 1
+        return values
+
+    def reconstruct(self, index: int, ciphertexts: Sequence,
+                    shape: tuple[int, ...]) -> np.ndarray:
+        """Scaled-feature array for one sample, cached by dataset index."""
+        if self.config.cache_reconstructed_features and index in self._feature_cache:
+            return self._feature_cache[index]
+        bound = int(self.config.max_abs_feature * self.config.scale) + 1
+        values = self._decrypt_elements(list(ciphertexts), bound)
+        array = np.array([v / self.config.scale for v in values],
+                         dtype=np.float64).reshape(shape)
+        if self.config.cache_reconstructed_features:
+            self._feature_cache[index] = array
+        return array
+
+    def clear_cache(self) -> None:
+        self._feature_cache.clear()
+
+
+class SecureLinearInput(_FeatureReconstructor):
+    """Secure feed-forward + gradient for a first :class:`Dense` layer.
+
+    Forward computes ``Z1 = X @ W + b`` where ``X`` is encrypted: one FEIP
+    key per hidden unit (a column of ``W``), one decrypt per (sample,
+    unit) pair -- the transfer ``a = g(skf(W) . enc(X) + b)`` of Section
+    III-A.
+    """
+
+    def __init__(self, dense: Dense, authority: TrustedAuthority,
+                 config: CryptoNNConfig,
+                 counters: DecryptionCounters | None = None,
+                 solver_cache: SolverCache | None = None):
+        super().__init__(authority, config, counters, solver_cache)
+        self.dense = dense
+        self._last_batch: Sequence[EncryptedSample] | None = None
+        self._last_indices: Sequence[int] | None = None
+
+    def _encoded_weight_rows(self) -> list[list[int]]:
+        """Columns of W, clipped and fixed-point encoded (one per unit)."""
+        w = np.clip(self.dense.params["W"], -self.config.max_abs_weight,
+                    self.config.max_abs_weight)
+        return [
+            [self.codec.encode(v) for v in w[:, unit]]
+            for unit in range(w.shape[1])
+        ]
+
+    def forward(self, batch: Sequence[EncryptedSample],
+                indices: Sequence[int] | None = None,
+                training: bool = True) -> np.ndarray:
+        """Return pre-activations ``Z1`` of shape (N, hidden)."""
+        rows = self._encoded_weight_rows()
+        keys = self.authority.derive_feip_keys(rows)
+        self.counters.feip_keys_requested += len(keys)
+        eta = self.dense.in_features
+        mpk = self.authority.feip_public_key(eta)
+        bound = self.config.dot_bound(eta)
+        solver = self._solver(bound)
+        z = np.empty((len(batch), len(keys)), dtype=np.float64)
+        for n, sample in enumerate(batch):
+            for i, key in enumerate(keys):
+                element = self._feip.decrypt_raw(mpk, sample.features_ip, key)
+                z[n, i] = self.codec.decode(solver.solve(element), power=2)
+                self.counters.feip_decrypts += 1
+        z += self.dense.params["b"]
+        if training:
+            self._last_batch = batch
+            self._last_indices = list(indices) if indices is not None \
+                else list(range(len(batch)))
+        return z
+
+    def backward(self, grad_z: np.ndarray) -> None:
+        """Fill the wrapped layer's W/b gradients from ``dL/dZ1``."""
+        if self._last_batch is None or self._last_indices is None:
+            raise RuntimeError("backward called before forward")
+        x = np.stack([
+            self.reconstruct(idx, sample.features_bo, (sample.n_features,))
+            for idx, sample in zip(self._last_indices, self._last_batch)
+        ])
+        self.dense.grads["W"] = x.T @ grad_z
+        self.dense.grads["b"] = grad_z.sum(axis=0)
+
+
+class SecureConvInput(_FeatureReconstructor):
+    """Secure feed-forward + gradient for a first :class:`Conv2D` layer.
+
+    Forward is Algorithm 3: one FEIP key per filter, one decrypt per
+    (window, filter) pair.  Backward reconstructs the scaled image via
+    FEBO (cached) and reuses the plaintext im2col gradient math.
+    """
+
+    def __init__(self, conv: Conv2D, authority: TrustedAuthority,
+                 config: CryptoNNConfig,
+                 counters: DecryptionCounters | None = None,
+                 solver_cache: SolverCache | None = None):
+        super().__init__(authority, config, counters, solver_cache)
+        self.conv = conv
+        self._last_batch: Sequence[EncryptedImage] | None = None
+        self._last_indices: Sequence[int] | None = None
+        self._last_out_dims: tuple[int, int] | None = None
+
+    def _encoded_filter_rows(self) -> list[list[int]]:
+        w = np.clip(self.conv.params["W"], -self.config.max_abs_weight,
+                    self.config.max_abs_weight)
+        return [
+            [self.codec.encode(v) for v in w[f].ravel()]
+            for f in range(w.shape[0])
+        ]
+
+    def forward(self, batch: Sequence[EncryptedImage],
+                indices: Sequence[int] | None = None,
+                training: bool = True) -> np.ndarray:
+        """Return pre-activations of shape (N, F, out_h, out_w)."""
+        rows = self._encoded_filter_rows()
+        keys = self.authority.derive_feip_keys(rows)
+        self.counters.feip_keys_requested += len(keys)
+        window_length = (self.conv.in_channels
+                         * self.conv.filter_size * self.conv.filter_size)
+        mpk = self.authority.feip_public_key(window_length)
+        bound = self.config.dot_bound(window_length)
+        if self.config.workers and batch:
+            out = self._forward_parallel(batch, keys, mpk, bound)
+        else:
+            out = self._forward_serial(batch, keys, mpk, bound)
+        out += self.conv.params["b"][np.newaxis, :, np.newaxis, np.newaxis]
+        if training:
+            self._last_batch = batch
+            self._last_indices = list(indices) if indices is not None \
+                else list(range(len(batch)))
+            self._last_out_dims = out.shape[2:]
+        return out
+
+    def _forward_serial(self, batch, keys, mpk, bound) -> np.ndarray:
+        solver = self._solver(bound)
+        outputs = []
+        for image in batch:
+            out_h, out_w = image.windows.out_shape
+            z = np.empty((len(keys), out_h, out_w), dtype=np.float64)
+            for pos, window_ct in enumerate(image.windows.windows):
+                for f, key in enumerate(keys):
+                    element = self._feip.decrypt_raw(mpk, window_ct, key)
+                    z[f, pos // out_w, pos % out_w] = self.codec.decode(
+                        solver.solve(element), power=2
+                    )
+                    self.counters.feip_decrypts += 1
+            outputs.append(z)
+        return np.stack(outputs)
+
+    def _forward_parallel(self, batch, keys, mpk, bound) -> np.ndarray:
+        """Batch-wide process-parallel decryption (paper's 'P' curves).
+
+        All windows of all images go through one process pool so the pool
+        startup is paid once per batch rather than per image.
+        """
+        from repro.matrix.parallel import secure_convolve_parallel
+
+        out_h, out_w = batch[0].windows.out_shape
+        per_image = out_h * out_w
+        all_windows = [w for image in batch for w in image.windows.windows]
+        flat = secure_convolve_parallel(
+            self.authority.params, mpk, all_windows,
+            (len(batch) * out_h, out_w), keys, bound,
+            workers=self.config.workers,
+        )
+        self.counters.feip_decrypts += len(all_windows) * len(keys)
+        out = np.empty((len(batch), len(keys), out_h, out_w), dtype=np.float64)
+        scale_sq = float(self.config.scale) ** 2
+        flat_rows = flat.reshape(len(keys), len(batch), out_h, out_w)
+        for f in range(len(keys)):
+            for n in range(len(batch)):
+                out[n, f] = flat_rows[f, n].astype(np.float64) / scale_sq
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> None:
+        """Fill the wrapped conv layer's W/b gradients from dL/dZ."""
+        if self._last_batch is None or self._last_indices is None:
+            raise RuntimeError("backward called before forward")
+        images = np.stack([
+            self.reconstruct(idx, image.pixels_bo.ravel(), image.image_shape)
+            for idx, image in zip(self._last_indices, self._last_batch)
+        ])
+        cols, _ = im2col(images, self.conv.filter_size, self.conv.stride,
+                         self.conv.padding)
+        grad_flat = grad_out.transpose(0, 2, 3, 1).reshape(
+            -1, self.conv.out_channels
+        )
+        self.conv.grads["W"] = (grad_flat.T @ cols).reshape(
+            self.conv.params["W"].shape
+        )
+        self.conv.grads["b"] = grad_flat.sum(axis=0)
+
+
+class SecureSoftmaxCrossEntropy(_SecureBase):
+    """Secure evaluation at the output layer (paper Section III-E2).
+
+    * loss: ``L = -<y, log p>`` -- one FEIP decrypt per sample against a
+      key derived for the (encoded) log-probability vector;
+    * gradient: ``dL/dA = P - Y`` -- one FEBO subtraction decrypt per
+      (sample, class), negated, divided by N in plaintext.
+    """
+
+    def __init__(self, authority: TrustedAuthority, config: CryptoNNConfig,
+                 counters: DecryptionCounters | None = None,
+                 solver_cache: SolverCache | None = None):
+        super().__init__(authority, config, counters, solver_cache)
+        self._probs: np.ndarray | None = None
+        # log p is clamped so its fixed-point encoding stays within the
+        # loss dlog bound (p ~ 0 would otherwise explode the search window)
+        self.min_log_prob = -30.0
+
+    def forward(self, logits: np.ndarray,
+                labels: Sequence[EncryptedLabel]) -> float:
+        if logits.shape[0] != len(labels):
+            raise ValueError("batch size mismatch between logits and labels")
+        num_classes = logits.shape[1]
+        probs = softmax(logits, axis=1)
+        log_p = np.maximum(log_softmax(logits, axis=1), self.min_log_prob)
+        mpk = self.authority.feip_public_key(num_classes)
+        bound = self.config.loss_bound(-self.min_log_prob + 1.0)
+        solver = self._solver(bound)
+        total = 0.0
+        for n, label in enumerate(labels):
+            encoded_logp = [self.codec.encode(v) for v in log_p[n]]
+            key = self.authority.derive_feip_keys([encoded_logp])[0]
+            self.counters.feip_keys_requested += 1
+            element = self._feip.decrypt_raw(mpk, label.onehot_ip, key)
+            inner = self.codec.decode(solver.solve(element), power=2)
+            total -= inner
+            self.counters.feip_decrypts += 1
+        self._probs = probs
+        return total / logits.shape[0]
+
+    def backward(self, labels: Sequence[EncryptedLabel]) -> np.ndarray:
+        """Return ``(P - Y) / N`` recovered through FEBO subtractions."""
+        if self._probs is None:
+            raise RuntimeError("backward called before forward")
+        probs = self._probs
+        n, num_classes = probs.shape
+        bpk = self.authority.febo_public_key()
+        bound = self.config.label_sub_bound()
+        solver = self._cache.get(self._febo.group, bound)
+        grad = np.empty_like(probs)
+        for i, label in enumerate(labels):
+            requests = [
+                (label.onehot_bo[c].cmt, "-", self.codec.encode(probs[i, c]))
+                for c in range(num_classes)
+            ]
+            keys = self.authority.derive_febo_keys(requests)
+            self.counters.febo_keys_requested += len(keys)
+            for c, key in enumerate(keys):
+                element = self._febo.decrypt_raw(bpk, key, label.onehot_bo[c])
+                y_minus_p = self.codec.decode(solver.solve(element))
+                grad[i, c] = -y_minus_p
+                self.counters.febo_decrypts += 1
+        return grad / n
+
+    @property
+    def probabilities(self) -> np.ndarray:
+        if self._probs is None:
+            raise RuntimeError("no forward pass yet")
+        return self._probs
+
+
+class SecureMSE(_SecureBase):
+    """Secure quadratic cost (paper Section III-D).
+
+    The server recovers the residuals ``Yhat - Y`` through FEBO
+    subtraction -- exactly the "compute Yhat - Y first" step of the
+    paper's walkthrough -- then forms both the loss and the gradient from
+    them in plaintext.
+    """
+
+    def __init__(self, authority: TrustedAuthority, config: CryptoNNConfig,
+                 counters: DecryptionCounters | None = None,
+                 solver_cache: SolverCache | None = None):
+        super().__init__(authority, config, counters, solver_cache)
+        self._residuals: np.ndarray | None = None
+
+    def forward(self, predictions: np.ndarray,
+                labels: Sequence[EncryptedLabel]) -> float:
+        if predictions.shape[0] != len(labels):
+            raise ValueError("batch size mismatch")
+        n, num_classes = predictions.shape
+        bpk = self.authority.febo_public_key()
+        bound = self.config.label_sub_bound()
+        solver = self._cache.get(self._febo.group, bound)
+        residuals = np.empty_like(predictions)
+        for i, label in enumerate(labels):
+            requests = [
+                (label.onehot_bo[c].cmt, "-",
+                 self.codec.encode(predictions[i, c]))
+                for c in range(num_classes)
+            ]
+            keys = self.authority.derive_febo_keys(requests)
+            self.counters.febo_keys_requested += len(keys)
+            for c, key in enumerate(keys):
+                element = self._febo.decrypt_raw(bpk, key, label.onehot_bo[c])
+                y_minus_pred = self.codec.decode(solver.solve(element))
+                residuals[i, c] = -y_minus_pred  # yhat - y
+                self.counters.febo_decrypts += 1
+        self._residuals = residuals
+        return float(0.5 * np.sum(residuals ** 2) / n)
+
+    def backward(self, labels: Sequence[EncryptedLabel]) -> np.ndarray:
+        if self._residuals is None:
+            raise RuntimeError("backward called before forward")
+        return self._residuals / self._residuals.shape[0]

@@ -1,0 +1,115 @@
+"""Wire serialization for keys and ciphertexts.
+
+Two purposes:
+
+* persistence / transport of crypto objects as JSON-able dicts;
+* **byte-accurate traffic accounting** for the communication-overhead
+  experiment (paper Section IV-B2): group elements are serialized as
+  fixed-width big-endian integers sized by the group modulus, exponents by
+  the subgroup order, so message sizes match what a real deployment would
+  send.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.fe.keys import (
+    FeboCiphertext,
+    FeboFunctionKey,
+    FeipCiphertext,
+    FeipFunctionKey,
+)
+from repro.mathutils.group import GroupParams
+
+
+def element_size_bytes(params: GroupParams) -> int:
+    """Bytes needed for one group element (member of Z_p)."""
+    return (params.p.bit_length() + 7) // 8
+
+
+def exponent_size_bytes(params: GroupParams) -> int:
+    """Bytes needed for one exponent (member of Z_q)."""
+    return (params.q.bit_length() + 7) // 8
+
+
+# -- structural (de)serialization ------------------------------------------------
+
+def feip_ciphertext_to_dict(ct: FeipCiphertext) -> dict[str, Any]:
+    return {"ct0": ct.ct0, "ct": list(ct.ct)}
+
+
+def feip_ciphertext_from_dict(data: dict[str, Any]) -> FeipCiphertext:
+    return FeipCiphertext(ct0=int(data["ct0"]),
+                          ct=tuple(int(v) for v in data["ct"]))
+
+
+def feip_key_to_dict(key: FeipFunctionKey) -> dict[str, Any]:
+    return {"y": list(key.y), "sk": key.sk}
+
+
+def feip_key_from_dict(data: dict[str, Any]) -> FeipFunctionKey:
+    return FeipFunctionKey(y=tuple(int(v) for v in data["y"]),
+                           sk=int(data["sk"]))
+
+
+def febo_ciphertext_to_dict(ct: FeboCiphertext) -> dict[str, Any]:
+    return {"cmt": ct.cmt, "ct": ct.ct}
+
+
+def febo_ciphertext_from_dict(data: dict[str, Any]) -> FeboCiphertext:
+    return FeboCiphertext(cmt=int(data["cmt"]), ct=int(data["ct"]))
+
+
+def febo_key_to_dict(key: FeboFunctionKey) -> dict[str, Any]:
+    return {"op": key.op, "y": key.y, "sk": key.sk, "cmt": key.cmt}
+
+
+def febo_key_from_dict(data: dict[str, Any]) -> FeboFunctionKey:
+    return FeboFunctionKey(op=str(data["op"]), y=int(data["y"]),
+                           sk=int(data["sk"]), cmt=int(data.get("cmt", 0)))
+
+
+def to_json(obj: dict[str, Any]) -> str:
+    """Canonical JSON encoding (sorted keys, no whitespace)."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+# -- wire-size accounting -------------------------------------------------------
+
+def feip_ciphertext_wire_size(ct: FeipCiphertext, params: GroupParams) -> int:
+    """ct0 plus eta elements."""
+    return (1 + ct.eta) * element_size_bytes(params)
+
+
+def feip_key_wire_size(key: FeipFunctionKey, params: GroupParams,
+                       weight_bytes: int = 8) -> int:
+    """One exponent (sk) plus the weight vector it binds.
+
+    ``weight_bytes`` is |w| in the paper's k x n x |w| formula -- the
+    fixed-point weights are small integers, 8 bytes is generous.
+    """
+    return exponent_size_bytes(params) + len(key.y) * weight_bytes
+
+
+def feip_key_request_wire_size(vector_length: int, params: GroupParams,
+                               weight_bytes: int = 8) -> int:
+    """Server -> authority: one weight vector of length n (n x |w|)."""
+    return vector_length * weight_bytes
+
+
+def febo_ciphertext_wire_size(params: GroupParams) -> int:
+    """Commitment plus ciphertext element."""
+    return 2 * element_size_bytes(params)
+
+
+def febo_key_wire_size(params: GroupParams, weight_bytes: int = 8) -> int:
+    """One group element (sk) plus op tag plus operand."""
+    return element_size_bytes(params) + 1 + weight_bytes
+
+
+def febo_key_request_wire_size(params: GroupParams,
+                               weight_bytes: int = 8) -> int:
+    """Server -> authority: commitment + op + operand."""
+    return element_size_bytes(params) + 1 + weight_bytes

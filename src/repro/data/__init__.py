@@ -1,0 +1,24 @@
+"""Datasets and pre-processing for the CryptoNN experiments.
+
+The paper evaluates on MNIST; this environment has no network access, so
+:mod:`repro.data.synth_digits` provides a procedurally-generated stand-in
+with the same task structure (10-class digit images), as documented in
+DESIGN.md.  :mod:`repro.data.tabular` generates the "federated clinics"
+binary-classification data motivating the paper's introduction.
+"""
+
+from repro.data.datasets import Dataset, train_test_split
+from repro.data.preprocess import LabelMapper, flatten_images, one_hot
+from repro.data.synth_digits import load_synth_digits, render_digit
+from repro.data.tabular import load_clinics
+
+__all__ = [
+    "Dataset",
+    "LabelMapper",
+    "flatten_images",
+    "load_clinics",
+    "load_synth_digits",
+    "one_hot",
+    "render_digit",
+    "train_test_split",
+]

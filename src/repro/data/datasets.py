@@ -1,0 +1,56 @@
+"""Dataset container and split helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class Dataset:
+    """Features plus integer class labels.
+
+    ``x`` is (N, ...) float data, ``y`` is (N,) integer labels.
+    """
+
+    x: np.ndarray
+    y: np.ndarray
+    num_classes: int
+
+    def __post_init__(self) -> None:
+        if self.x.shape[0] != self.y.shape[0]:
+            raise ValueError(
+                f"x has {self.x.shape[0]} samples but y has {self.y.shape[0]}"
+            )
+
+    def __len__(self) -> int:
+        return int(self.x.shape[0])
+
+    def subset(self, indices: np.ndarray) -> "Dataset":
+        return Dataset(x=self.x[indices], y=self.y[indices],
+                       num_classes=self.num_classes)
+
+    def take(self, n: int) -> "Dataset":
+        """First ``n`` samples (handy for scaled-down experiments)."""
+        return Dataset(x=self.x[:n], y=self.y[:n], num_classes=self.num_classes)
+
+    def shards(self, count: int) -> list["Dataset"]:
+        """Split into ``count`` near-equal shards (the distributed-clients
+        setting: each shard plays one data-owner)."""
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        index_chunks = np.array_split(np.arange(len(self)), count)
+        return [self.subset(chunk) for chunk in index_chunks]
+
+
+def train_test_split(dataset: Dataset, test_fraction: float = 0.2,
+                     rng: np.random.Generator | None = None
+                     ) -> tuple[Dataset, Dataset]:
+    """Shuffle and split into train/test datasets."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    rng = rng or np.random.default_rng()
+    order = rng.permutation(len(dataset))
+    n_test = max(1, int(len(dataset) * test_fraction))
+    return dataset.subset(order[n_test:]), dataset.subset(order[:n_test])

@@ -1,0 +1,71 @@
+"""Client-side pre-processing (paper Section III-A overview).
+
+Two pieces:
+
+* the mechanical encoding (flattening images into vectors, one-hot
+  labels) that precedes encryption, and
+* the **random label mapping** the paper requires before encrypting
+  labels ("to prevent a direct inference attack ... the label should be
+  mapped to a random number first", Sections III-A and IV-A):
+  :class:`LabelMapper` draws a secret random permutation of class indices
+  shared by the data owners; the server trains against permuted one-hot
+  targets and never learns which logical class an output unit encodes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Integer labels -> one-hot matrix of shape (N, num_classes)."""
+    labels = np.asarray(labels, dtype=np.int64)
+    if labels.ndim != 1:
+        raise ValueError(f"expected 1-D labels, got shape {labels.shape}")
+    if labels.min(initial=0) < 0 or labels.max(initial=0) >= num_classes:
+        raise ValueError("label outside [0, num_classes)")
+    out = np.zeros((labels.shape[0], num_classes), dtype=np.float64)
+    out[np.arange(labels.shape[0]), labels] = 1.0
+    return out
+
+
+def flatten_images(images: np.ndarray) -> np.ndarray:
+    """(N, C, H, W) -> (N, C*H*W), the paper's image-to-vector pretreatment."""
+    return images.reshape(images.shape[0], -1)
+
+
+class LabelMapper:
+    """Secret random permutation of class labels, shared by data owners.
+
+    The permutation is sampled once from a seed the clients share (the
+    authority may distribute it alongside ``mpk``); the server only ever
+    sees mapped labels, so recovering ``Y - P`` during the secure
+    evaluation step does not directly reveal the logical class.
+    """
+
+    def __init__(self, num_classes: int, rng: np.random.Generator | None = None):
+        if num_classes < 2:
+            raise ValueError("need at least 2 classes")
+        rng = rng or np.random.default_rng()
+        self.num_classes = num_classes
+        self._forward = rng.permutation(num_classes)
+        self._inverse = np.argsort(self._forward)
+
+    def map_labels(self, labels: np.ndarray) -> np.ndarray:
+        """Client side: logical label -> wire label."""
+        labels = np.asarray(labels, dtype=np.int64)
+        return self._forward[labels]
+
+    def unmap_labels(self, mapped: np.ndarray) -> np.ndarray:
+        """Client side: wire label -> logical label."""
+        mapped = np.asarray(mapped, dtype=np.int64)
+        return self._inverse[mapped]
+
+    def unmap_probabilities(self, probabilities: np.ndarray) -> np.ndarray:
+        """Reorder an (N, num_classes) probability matrix back to logical
+        class order (used when the client interprets predictions)."""
+        return probabilities[:, self._forward]
+
+    @property
+    def permutation(self) -> np.ndarray:
+        return self._forward.copy()

@@ -1,0 +1,134 @@
+"""FEBO: functional encryption for basic operations (paper Section III-B).
+
+This is the CryptoNN paper's own contribution: an ElGamal-derived scheme
+computing ``f_delta(x, y) = x delta y`` for ``delta in {+, -, *, /}`` where
+``x`` is encrypted and ``y`` is the server-side plaintext operand.
+
+* ``Setup(1^lambda)``: ``msk = s``, ``mpk = (h = g^s, g)``.
+* ``Encrypt(mpk, x)``: nonce ``r``; commitment ``cmt = g^r``; ``ct = h^r g^x``.
+* ``KeyDerive(msk, cmt, delta, y)``::
+
+      sk = cmt^s * g^{-y}     (delta = +)
+      sk = cmt^s * g^{y}      (delta = -)
+      sk = (cmt^s)^y          (delta = *)
+      sk = (cmt^s)^{y^{-1}}   (delta = /)
+
+* ``Decrypt``: ``g^{x+y} = ct / sk`` (add/sub), ``g^{x*y} = ct^y / sk``
+  (mul), ``g^{x/y} = ct^{y^{-1}} / sk`` (div), then a bounded discrete log.
+
+Notes faithful to the paper:
+
+* keys are **per-ciphertext** (they depend on the commitment);
+* division computes ``x * y^{-1} mod q``, which equals the rational x/y
+  only when ``y`` divides ``x`` -- :meth:`Febo.decrypt` therefore only
+  supports exact division and raises otherwise;
+* the scheme is IND-CPA under DDH (Theorem 1) but intentionally does not
+  resist the *direct inference* by an authorized decryptor, which the
+  framework layer mitigates with label randomization.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+
+from repro.fe.errors import FunctionKeyError, UnsupportedOperationError
+from repro.fe.keys import FeboCiphertext, FeboFunctionKey, FeboMasterKey, FeboPublicKey
+from repro.mathutils.dlog import GLOBAL_SOLVER_CACHE, DlogSolver, SolverCache
+from repro.mathutils.group import GroupParams, SchnorrGroup
+
+
+class FeboOp(str, enum.Enum):
+    """The four permitted arithmetic operations ``delta``."""
+
+    ADD = "+"
+    SUB = "-"
+    MUL = "*"
+    DIV = "/"
+
+    @classmethod
+    def coerce(cls, value: "FeboOp | str") -> "FeboOp":
+        """Accept either an enum member or its symbol."""
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(value)
+        except ValueError:
+            raise UnsupportedOperationError(
+                f"operation {value!r} not in permitted set {[o.value for o in cls]}"
+            ) from None
+
+
+class Febo:
+    """Stateless FEBO scheme over a fixed Schnorr group."""
+
+    def __init__(self, params: GroupParams, rng: random.Random | None = None,
+                 solver_cache: SolverCache | None = None):
+        self.group = SchnorrGroup(params, rng=rng)
+        self._solver_cache = solver_cache or GLOBAL_SOLVER_CACHE
+
+    # -- algorithms ---------------------------------------------------------
+    def setup(self) -> tuple[FeboPublicKey, FeboMasterKey]:
+        s = self.group.random_exponent()
+        return (
+            FeboPublicKey(params=self.group.params, h=self.group.gexp(s)),
+            FeboMasterKey(s=s),
+        )
+
+    def encrypt(self, mpk: FeboPublicKey, x: int) -> FeboCiphertext:
+        """Encrypt the signed integer ``x``."""
+        group = self.group
+        r = group.random_exponent()
+        cmt = group.gexp(r)
+        ct = group.mul(group.exp(mpk.h, r), group.gexp(int(x)))
+        return FeboCiphertext(cmt=cmt, ct=ct)
+
+    def key_derive(self, msk: FeboMasterKey, cmt: int, op: FeboOp | str,
+                   y: int) -> FeboFunctionKey:
+        """Derive the per-ciphertext function key for ``x op y``."""
+        op = FeboOp.coerce(op)
+        group = self.group
+        y = int(y)
+        cmt_s = group.exp(cmt, msk.s)
+        if op is FeboOp.ADD:
+            sk = group.mul(cmt_s, group.gexp(-y))
+        elif op is FeboOp.SUB:
+            sk = group.mul(cmt_s, group.gexp(y))
+        elif op is FeboOp.MUL:
+            sk = group.exp(cmt_s, y)
+        else:  # DIV
+            if y % group.q == 0:
+                raise FunctionKeyError("division by zero operand")
+            sk = group.exp(cmt_s, group.exp_inverse(y))
+        return FeboFunctionKey(op=op.value, y=y, sk=sk, cmt=cmt)
+
+    def decrypt_raw(self, mpk: FeboPublicKey, skf: FeboFunctionKey,
+                    ciphertext: FeboCiphertext) -> int:
+        """Return the group element ``g^{f_delta(x, y)}``."""
+        if skf.cmt and skf.cmt != ciphertext.cmt:
+            raise FunctionKeyError(
+                "function key was derived for a different ciphertext"
+            )
+        op = FeboOp.coerce(skf.op)
+        group = self.group
+        if op in (FeboOp.ADD, FeboOp.SUB):
+            return group.div(ciphertext.ct, skf.sk)
+        if op is FeboOp.MUL:
+            return group.div(group.exp(ciphertext.ct, skf.y), skf.sk)
+        # DIV
+        inv_y = group.exp_inverse(skf.y)
+        return group.div(group.exp(ciphertext.ct, inv_y), skf.sk)
+
+    def decrypt(self, mpk: FeboPublicKey, skf: FeboFunctionKey,
+                ciphertext: FeboCiphertext, bound: int,
+                solver: DlogSolver | None = None) -> int:
+        """Recover ``x op y`` assuming the result is within ``[-bound, bound]``.
+
+        For division the result is only meaningful when ``y`` divides ``x``
+        exactly; otherwise ``x * y^{-1} mod q`` is (with overwhelming
+        probability) outside any reasonable bound and a
+        :class:`~repro.mathutils.dlog.DiscreteLogError` is raised.
+        """
+        element = self.decrypt_raw(mpk, skf, ciphertext)
+        solver = solver or self._solver_cache.get(self.group, bound)
+        return solver.solve(element)

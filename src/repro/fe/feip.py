@@ -1,0 +1,101 @@
+"""FEIP: functional encryption for inner products (Abdalla et al., PKC'15).
+
+The scheme computes ``f(x, y) = <x, y>`` over an encrypted vector ``x``
+and a plaintext weight vector ``y`` baked into the function key:
+
+* ``Setup(1^lambda, 1^eta)``: sample ``s = (s_1..s_eta)`` from Z_q, publish
+  ``mpk = (g, h_i = g^{s_i})`` and keep ``msk = s``.
+* ``KeyDerive(msk, y)``: ``sk_f = <y, s> mod q``.
+* ``Encrypt(mpk, x)``: sample nonce ``r``; ``ct_0 = g^r``,
+  ``ct_i = h_i^r * g^{x_i}``.
+* ``Decrypt``: ``g^{<x,y>} = prod_i ct_i^{y_i} / ct_0^{sk_f}`` followed by a
+  bounded discrete log.
+
+Security is selective IND-CPA under DDH (proof in the original paper; the
+CryptoNN paper reuses it verbatim).
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+from repro.fe.errors import CiphertextError, FunctionKeyError
+from repro.fe.keys import FeipCiphertext, FeipFunctionKey, FeipMasterKey, FeipPublicKey
+from repro.mathutils.dlog import GLOBAL_SOLVER_CACHE, DlogSolver, SolverCache
+from repro.mathutils.group import GroupParams, SchnorrGroup
+
+
+class Feip:
+    """Stateless FEIP scheme over a fixed Schnorr group.
+
+    One instance may serve many key pairs; all state lives in the key
+    objects so the authority / client / server split of the CryptoNN
+    framework maps onto plain function calls.
+    """
+
+    def __init__(self, params: GroupParams, rng: random.Random | None = None,
+                 solver_cache: SolverCache | None = None):
+        self.group = SchnorrGroup(params, rng=rng)
+        self._solver_cache = solver_cache or GLOBAL_SOLVER_CACHE
+
+    # -- algorithms ---------------------------------------------------------
+    def setup(self, eta: int) -> tuple[FeipPublicKey, FeipMasterKey]:
+        """Generate a key pair supporting vectors of length ``eta``."""
+        if eta < 1:
+            raise ValueError("vector length eta must be >= 1")
+        s = tuple(self.group.random_exponent() for _ in range(eta))
+        h = tuple(self.group.gexp(si) for si in s)
+        return FeipPublicKey(params=self.group.params, h=h), FeipMasterKey(s=s)
+
+    def key_derive(self, msk: FeipMasterKey, y: Sequence[int]) -> FeipFunctionKey:
+        """Derive ``sk_f = <y, s> mod q`` for weight vector ``y``."""
+        if len(y) != msk.eta:
+            raise FunctionKeyError(
+                f"weight vector length {len(y)} != key length {msk.eta}"
+            )
+        q = self.group.q
+        sk = sum(int(yi) * si for yi, si in zip(y, msk.s)) % q
+        return FeipFunctionKey(y=tuple(int(v) for v in y), sk=sk)
+
+    def encrypt(self, mpk: FeipPublicKey, x: Sequence[int]) -> FeipCiphertext:
+        """Encrypt integer vector ``x`` (signed entries allowed)."""
+        if len(x) != mpk.eta:
+            raise CiphertextError(
+                f"plaintext length {len(x)} != key length {mpk.eta}"
+            )
+        group = self.group
+        r = group.random_exponent()
+        ct0 = group.gexp(r)
+        ct = tuple(
+            group.mul(group.exp(hi, r), group.gexp(int(xi)))
+            for hi, xi in zip(mpk.h, x)
+        )
+        return FeipCiphertext(ct0=ct0, ct=ct)
+
+    def decrypt_raw(self, mpk: FeipPublicKey, ciphertext: FeipCiphertext,
+                    skf: FeipFunctionKey) -> int:
+        """Return the group element ``g^{<x, y>}`` (no discrete log)."""
+        if ciphertext.eta != len(skf.y):
+            raise CiphertextError(
+                f"ciphertext length {ciphertext.eta} != weight length {len(skf.y)}"
+            )
+        group = self.group
+        numerator = 1
+        for ct_i, y_i in zip(ciphertext.ct, skf.y):
+            numerator = group.mul(numerator, group.exp(ct_i, y_i))
+        denominator = group.exp(ciphertext.ct0, skf.sk)
+        return group.div(numerator, denominator)
+
+    def decrypt(self, mpk: FeipPublicKey, ciphertext: FeipCiphertext,
+                skf: FeipFunctionKey, bound: int,
+                solver: DlogSolver | None = None) -> int:
+        """Recover ``<x, y>`` assuming ``|<x, y>| <= bound``.
+
+        Raises:
+            DiscreteLogError: when the true inner product falls outside
+                ``[-bound, bound]`` or the ciphertext/key are inconsistent.
+        """
+        element = self.decrypt_raw(mpk, ciphertext, skf)
+        solver = solver or self._solver_cache.get(self.group, bound)
+        return solver.solve(element)

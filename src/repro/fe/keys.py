@@ -1,0 +1,108 @@
+"""Key and ciphertext containers for FEIP and FEBO.
+
+These are deliberately thin, immutable dataclasses of plain ints so they
+serialize trivially (see :mod:`repro.core.serialization`) and cross
+process boundaries cheaply for the parallel secure-computation path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.mathutils.group import GroupParams
+
+
+# --------------------------------------------------------------------------
+# FEIP (inner product) -- Abdalla et al., reproduced in paper Section II-B
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class FeipPublicKey:
+    """``mpk = (g, (h_i = g^{s_i})_{i in [eta]})`` plus the group params."""
+
+    params: GroupParams
+    h: tuple[int, ...]
+
+    @property
+    def eta(self) -> int:
+        """Supported vector length."""
+        return len(self.h)
+
+
+@dataclass(frozen=True)
+class FeipMasterKey:
+    """``msk = s`` -- held only by the authority."""
+
+    s: tuple[int, ...]
+
+    @property
+    def eta(self) -> int:
+        return len(self.s)
+
+
+@dataclass(frozen=True)
+class FeipFunctionKey:
+    """``sk_f = <y, s>`` for a specific weight vector ``y``.
+
+    The vector itself rides along because FEIP decryption needs ``y`` in
+    the clear (paper: Decrypt takes ``ct``, ``mpk``, ``sk_f`` *and* ``y``).
+    """
+
+    y: tuple[int, ...]
+    sk: int
+
+
+@dataclass(frozen=True)
+class FeipCiphertext:
+    """``ct = (ct_0 = g^r, (ct_i = h_i^r g^{x_i})_i)``."""
+
+    ct0: int
+    ct: tuple[int, ...]
+
+    @property
+    def eta(self) -> int:
+        return len(self.ct)
+
+
+# --------------------------------------------------------------------------
+# FEBO (basic operations) -- paper Section III-B
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class FeboPublicKey:
+    """``mpk = (h = g^s, g)`` plus the group params."""
+
+    params: GroupParams
+    h: int
+
+
+@dataclass(frozen=True)
+class FeboMasterKey:
+    """``msk = s`` -- held only by the authority."""
+
+    s: int
+
+
+@dataclass(frozen=True)
+class FeboCiphertext:
+    """``(cmt = g^r, ct = h^r g^x)``.
+
+    The commitment is part of the ciphertext and must be shipped to the
+    authority at key-derivation time -- FEBO function keys are
+    per-ciphertext (Section III-B KeyDerive takes ``cmt``).
+    """
+
+    cmt: int
+    ct: int
+
+
+@dataclass(frozen=True)
+class FeboFunctionKey:
+    """``sk_{f_delta}`` bound to one ciphertext commitment and one operand."""
+
+    op: str
+    y: int
+    sk: int
+    # Commitment the key was derived against; checked at decrypt time to
+    # give an early, explicit error instead of a garbage discrete log.
+    cmt: int = field(default=0)

@@ -1,0 +1,139 @@
+"""Bounded discrete-logarithm recovery.
+
+Decryption in both FEIP and FEBO yields ``g ** m mod p`` and must recover
+the exponent ``m``.  This is feasible exactly because the plaintext result
+of the permitted function is small and bounded -- the paper points at the
+baby-step giant-step (BSGS) algorithm [26].  We implement BSGS over a
+*signed* interval ``[-bound, bound]`` with a reusable baby-step table so
+that the (dominant) table construction is amortized across the thousands
+of decryptions a single training iteration performs.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.mathutils.group import SchnorrGroup
+
+
+class DiscreteLogError(ValueError):
+    """Raised when no exponent within the search bound matches.
+
+    In practice this signals either a plaintext that overflowed the
+    declared bound (fixed-point scale too large) or a tampered/corrupt
+    ciphertext, so it doubles as an integrity check.
+    """
+
+
+class DlogSolver:
+    """Baby-step giant-step solver for ``g ** m = h (mod p)``, ``|m| <= bound``.
+
+    The solver precomputes ``table_size`` baby steps ``g^j`` once and reuses
+    them for every query; a query then costs at most
+    ``ceil(window / table_size)`` giant-step multiplications plus hash
+    lookups.  ``table_size`` defaults to ``ceil(sqrt(2 * bound + 1))``,
+    the classic balanced choice.
+    """
+
+    def __init__(self, group: SchnorrGroup, bound: int,
+                 table_size: int | None = None):
+        if bound < 0:
+            raise ValueError("bound must be non-negative")
+        if 2 * bound + 1 >= group.q:
+            raise ValueError("search window exceeds the group order")
+        self.group = group
+        self.bound = bound
+        window = 2 * bound + 1
+        self.table_size = table_size or max(1, math.isqrt(window - 1) + 1)
+        self._baby_steps = self._build_table()
+        # giant step multiplies by g^{-table_size}
+        self._giant_step = group.exp(group.g, -self.table_size)
+        self._max_giant_steps = (window + self.table_size - 1) // self.table_size
+
+    def _build_table(self) -> dict[int, int]:
+        table: dict[int, int] = {}
+        element = 1
+        g, p = self.group.g, self.group.p
+        for j in range(self.table_size):
+            table.setdefault(element, j)
+            element = element * g % p
+        return table
+
+    def solve(self, h: int) -> int:
+        """Return the signed exponent ``m`` with ``g^m == h``.
+
+        Raises:
+            DiscreteLogError: when no exponent in ``[-bound, bound]`` works.
+        """
+        # Shift the window to [0, 2*bound]: search m' with g^{m'} = h * g^{bound}.
+        gamma = self.group.mul(h, self.group.gexp(self.bound))
+        p = self.group.p
+        for i in range(self._max_giant_steps + 1):
+            j = self._baby_steps.get(gamma)
+            if j is not None:
+                shifted = i * self.table_size + j
+                candidate = shifted - self.bound
+                if -self.bound <= candidate <= self.bound:
+                    return candidate
+            gamma = gamma * self._giant_step % p
+        raise DiscreteLogError(
+            f"no discrete log within [-{self.bound}, {self.bound}]"
+        )
+
+    def solve_nonneg(self, h: int) -> int:
+        """Like :meth:`solve` but requires the result to be non-negative."""
+        value = self.solve(h)
+        if value < 0:
+            raise DiscreteLogError(f"expected non-negative exponent, got {value}")
+        return value
+
+
+def discrete_log_linear(group: SchnorrGroup, h: int, bound: int) -> int:
+    """Exhaustive-scan fallback used to cross-check BSGS in tests.
+
+    Linear in ``bound``; only use for tiny windows.
+    """
+    if h == 1:
+        return 0
+    acc_pos = 1
+    acc_neg = 1
+    g_inv = group.inv(group.g)
+    for m in range(1, bound + 1):
+        acc_pos = group.mul(acc_pos, group.g)
+        if acc_pos == h:
+            return m
+        acc_neg = group.mul(acc_neg, g_inv)
+        if acc_neg == h:
+            return -m
+    raise DiscreteLogError(f"no discrete log within [-{bound}, {bound}]")
+
+
+class SolverCache:
+    """Per-(group, bound) cache of :class:`DlogSolver` instances.
+
+    Building the baby-step table is the expensive part of decryption;
+    training touches the same handful of bounds over and over, so the
+    secure-computation layer routes all dlog queries through one of these.
+    """
+
+    def __init__(self) -> None:
+        self._solvers: dict[tuple[int, int, int], DlogSolver] = {}
+
+    def get(self, group: SchnorrGroup, bound: int) -> DlogSolver:
+        key = (group.p, group.g, bound)
+        solver = self._solvers.get(key)
+        if solver is None:
+            solver = DlogSolver(group, bound)
+            self._solvers[key] = solver
+        return solver
+
+    def clear(self) -> None:
+        self._solvers.clear()
+
+    def __len__(self) -> int:
+        return len(self._solvers)
+
+
+#: Process-wide default cache.  Library code accepts an explicit cache for
+#: isolation (tests) but falls back to this shared one.
+GLOBAL_SOLVER_CACHE = SolverCache()

@@ -1,0 +1,95 @@
+"""Pollard's kangaroo (lambda) algorithm for bounded discrete logs.
+
+An alternative to baby-step giant-step with O(sqrt(width)) *time* but
+O(log width) *memory* -- attractive when the search window is large and
+no table can be amortized (the one-shot decryptions of the FE-based
+prediction phase, for example).  BSGS (:mod:`repro.mathutils.dlog`)
+remains the default for training, where its table is reused thousands of
+times; the trade-off is quantified in
+``benchmarks/bench_ablation_kangaroo.py``.
+
+The walk is deterministic given a seed; on the (rare) unlucky walk that
+misses the trap, the solver retries with a reseeded jump function.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.mathutils.dlog import DiscreteLogError
+from repro.mathutils.group import SchnorrGroup
+
+
+class KangarooSolver:
+    """Solve ``g^m = h`` for signed ``m`` in ``[-bound, bound]``.
+
+    Args:
+        group: the Schnorr group.
+        bound: half-width of the symmetric search interval.
+        max_retries: reseeded attempts before giving up.  A miss is a
+            probabilistic event (~constant probability per attempt), so a
+            handful of retries makes failure negligible for honest inputs.
+    """
+
+    def __init__(self, group: SchnorrGroup, bound: int, max_retries: int = 12):
+        if bound < 0:
+            raise ValueError("bound must be non-negative")
+        if 2 * bound + 1 >= group.q:
+            raise ValueError("search window exceeds the group order")
+        self.group = group
+        self.bound = bound
+        self.max_retries = max_retries
+        width = 2 * bound + 1
+        # jump set {2^0 .. 2^(k-1)} with mean ~ sqrt(width)/2
+        mean_target = max(1.0, math.sqrt(width) / 2)
+        k = 1
+        while (2 ** k - 1) / k < mean_target and k < 64:
+            k += 1
+        self._jumps = [2 ** i for i in range(k)]
+        # expected walk length; the tame kangaroo walks ~4x the mean-jump
+        # count to build a wide enough trap region
+        self._tame_steps = max(8, int(4 * math.sqrt(width)))
+
+    def _jump_index(self, element: int, seed: int) -> int:
+        return (element ^ seed) % len(self._jumps)
+
+    def _attempt(self, h: int, seed: int) -> int | None:
+        group = self.group
+        lo, hi = -self.bound, self.bound
+        # tame kangaroo starts at g^hi
+        tame_pos = group.gexp(hi)
+        tame_dist = 0
+        for _ in range(self._tame_steps):
+            step = self._jumps[self._jump_index(tame_pos, seed)]
+            tame_pos = group.mul(tame_pos, group.gexp(step))
+            tame_dist += step
+        trap = tame_pos
+        # wild kangaroo starts at h = g^m
+        wild_pos = h
+        wild_dist = 0
+        limit = (hi - lo) + tame_dist
+        while wild_dist <= limit:
+            if wild_pos == trap:
+                return hi + tame_dist - wild_dist
+            step = self._jumps[self._jump_index(wild_pos, seed)]
+            wild_pos = group.mul(wild_pos, group.gexp(step))
+            wild_dist += step
+        return None
+
+    def solve(self, h: int) -> int:
+        """Return the signed exponent, or raise :class:`DiscreteLogError`.
+
+        Unlike BSGS, a failed attempt is ambiguous between "out of bounds"
+        and "unlucky walk"; retries with independent jump functions drive
+        the latter's probability to ~0 before we declare the former.
+        """
+        for retry in range(self.max_retries):
+            seed = 0x9E3779B9 * (retry + 1)
+            result = self._attempt(h, seed)
+            if result is not None:
+                if abs(result) <= self.bound and self.group.gexp(result) == h:
+                    return result
+        raise DiscreteLogError(
+            f"no discrete log within [-{self.bound}, {self.bound}] "
+            f"after {self.max_retries} kangaroo walks"
+        )

@@ -1,0 +1,51 @@
+"""Modular-arithmetic helpers shared by the crypto substrate."""
+
+from __future__ import annotations
+
+
+def extended_gcd(a: int, b: int) -> tuple[int, int, int]:
+    """Return ``(g, x, y)`` such that ``a*x + b*y == g == gcd(a, b)``."""
+    old_r, r = a, b
+    old_s, s = 1, 0
+    old_t, t = 0, 1
+    while r:
+        quotient = old_r // r
+        old_r, r = r, old_r - quotient * r
+        old_s, s = s, old_s - quotient * s
+        old_t, t = t, old_t - quotient * t
+    return old_r, old_s, old_t
+
+
+def mod_inverse(a: int, m: int) -> int:
+    """Return the inverse of ``a`` modulo ``m``.
+
+    Raises:
+        ValueError: if ``gcd(a, m) != 1`` (no inverse exists).
+    """
+    g, x, _ = extended_gcd(a % m, m)
+    if g != 1:
+        raise ValueError(f"{a} has no inverse modulo {m} (gcd={g})")
+    return x % m
+
+
+def mod_sub(a: int, b: int, m: int) -> int:
+    """Return ``(a - b) mod m`` with a non-negative result."""
+    return (a - b) % m
+
+
+def int_to_signed(value: int, modulus: int) -> int:
+    """Map a residue in ``[0, modulus)`` to the signed window.
+
+    Residues below ``modulus // 2`` are returned as-is; larger residues are
+    interpreted as negative (``value - modulus``).  This is the standard
+    balanced representation used by the fixed-point codec.
+    """
+    value %= modulus
+    if value > modulus // 2:
+        return value - modulus
+    return value
+
+
+def signed_to_int(value: int, modulus: int) -> int:
+    """Inverse of :func:`int_to_signed`: map a signed value into Z_m."""
+    return value % modulus

@@ -1,0 +1,23 @@
+"""Secure matrix computation over functionally-encrypted data.
+
+Implements the paper's Algorithm 1 (secure matrix computation scheme) and
+Algorithm 3 (secure convolution scheme) plus the process-parallel variant
+whose speedup the paper reports in Figures 3d, 4d and 5d.
+"""
+
+from repro.matrix.secure_conv import EncryptedWindows, SecureConvolution
+from repro.matrix.secure_matrix import (
+    EncryptedMatrix,
+    SecureMatrixScheme,
+    matrix_bound_dot,
+    matrix_bound_elementwise,
+)
+
+__all__ = [
+    "EncryptedMatrix",
+    "EncryptedWindows",
+    "SecureConvolution",
+    "SecureMatrixScheme",
+    "matrix_bound_dot",
+    "matrix_bound_elementwise",
+]

@@ -1,0 +1,54 @@
+"""Activation functions and their derivatives.
+
+Plain functions over NumPy arrays; the layer wrappers live in
+:mod:`repro.nn.layers`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def sigmoid(z: np.ndarray) -> np.ndarray:
+    """Numerically-stable logistic function ``1 / (1 + exp(-z))``."""
+    out = np.empty_like(z, dtype=np.float64)
+    positive = z >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-z[positive]))
+    exp_z = np.exp(z[~positive])
+    out[~positive] = exp_z / (1.0 + exp_z)
+    return out
+
+
+def sigmoid_grad(activated: np.ndarray) -> np.ndarray:
+    """Derivative in terms of the *activated* value: ``a * (1 - a)``."""
+    return activated * (1.0 - activated)
+
+
+def relu(z: np.ndarray) -> np.ndarray:
+    return np.maximum(z, 0.0)
+
+
+def relu_grad(z: np.ndarray) -> np.ndarray:
+    """Derivative in terms of the pre-activation ``z``."""
+    return (z > 0).astype(np.float64)
+
+
+def tanh(z: np.ndarray) -> np.ndarray:
+    return np.tanh(z)
+
+
+def tanh_grad(activated: np.ndarray) -> np.ndarray:
+    return 1.0 - activated ** 2
+
+
+def softmax(z: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Shift-invariant softmax along ``axis``."""
+    shifted = z - np.max(z, axis=axis, keepdims=True)
+    exp_z = np.exp(shifted)
+    return exp_z / np.sum(exp_z, axis=axis, keepdims=True)
+
+
+def log_softmax(z: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically-stable ``log(softmax(z))``."""
+    shifted = z - np.max(z, axis=axis, keepdims=True)
+    return shifted - np.log(np.sum(np.exp(shifted), axis=axis, keepdims=True))

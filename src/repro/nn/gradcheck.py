@@ -1,0 +1,71 @@
+"""Numerical gradient checking for layers and losses.
+
+Central differences against the analytic backward pass -- the standard
+way to validate a hand-rolled NN substrate, used heavily in the tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Layer
+from repro.nn.losses import Loss
+
+
+def numeric_grad(fn, array: np.ndarray, eps: float = 1e-5) -> np.ndarray:
+    """Central-difference gradient of scalar ``fn()`` w.r.t. ``array``.
+
+    ``fn`` must read ``array`` in place (we perturb entries directly).
+    """
+    grad = np.zeros_like(array)
+    it = np.nditer(array, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        original = array[idx]
+        array[idx] = original + eps
+        plus = fn()
+        array[idx] = original - eps
+        minus = fn()
+        array[idx] = original
+        grad[idx] = (plus - minus) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+def check_layer_input_grad(layer: Layer, x: np.ndarray,
+                           eps: float = 1e-5) -> float:
+    """Max abs error between analytic and numeric dOut/dX (summed output)."""
+    def objective() -> float:
+        return float(layer.forward(x, training=True).sum())
+
+    numeric = numeric_grad(objective, x, eps)
+    layer.forward(x, training=True)
+    analytic = layer.backward(np.ones_like(layer.forward(x, training=True)))
+    return float(np.max(np.abs(numeric - analytic)))
+
+
+def check_layer_param_grads(layer: Layer, x: np.ndarray,
+                            eps: float = 1e-5) -> dict[str, float]:
+    """Max abs error per parameter between analytic and numeric grads."""
+    errors: dict[str, float] = {}
+    for name, param in layer.params.items():
+        def objective() -> float:
+            return float(layer.forward(x, training=True).sum())
+
+        numeric = numeric_grad(objective, param, eps)
+        out = layer.forward(x, training=True)
+        layer.backward(np.ones_like(out))
+        errors[name] = float(np.max(np.abs(numeric - layer.grads[name])))
+    return errors
+
+
+def check_loss_grad(loss: Loss, predictions: np.ndarray,
+                    targets: np.ndarray, eps: float = 1e-6) -> float:
+    """Max abs error between analytic and numeric dL/dPredictions."""
+    def objective() -> float:
+        return loss.forward(predictions, targets)
+
+    numeric = numeric_grad(objective, predictions, eps)
+    loss.forward(predictions, targets)
+    analytic = loss.backward()
+    return float(np.max(np.abs(numeric - analytic)))

@@ -1,0 +1,22 @@
+"""Weight initialization schemes."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def xavier_uniform(rng: np.random.Generator, shape: tuple[int, ...],
+                   fan_in: int, fan_out: int) -> np.ndarray:
+    """Glorot/Xavier uniform -- good default for sigmoid/tanh nets."""
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def he_normal(rng: np.random.Generator, shape: tuple[int, ...],
+              fan_in: int) -> np.ndarray:
+    """He initialization -- good default for ReLU nets."""
+    return rng.normal(0.0, np.sqrt(2.0 / fan_in), size=shape)
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    return np.zeros(shape, dtype=np.float64)

@@ -1,0 +1,146 @@
+"""Core layer abstractions: base class, Dense, Flatten, activations.
+
+Every layer implements ``forward`` and ``backward``; trainable layers
+expose ``params`` / ``grads`` dictionaries the optimizer walks.  Shapes
+are batch-first everywhere: Dense works on ``(N, features)``, the conv
+stack (see :mod:`repro.nn.conv`) on ``(N, C, H, W)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import activations
+from repro.nn.initializers import xavier_uniform, zeros
+
+
+class Layer:
+    """Base class.  Subclasses cache whatever forward state backward needs."""
+
+    #: trainable parameters, name -> array (empty for stateless layers)
+    params: dict[str, np.ndarray]
+    #: gradients matching :attr:`params` keys, filled by ``backward``
+    grads: dict[str, np.ndarray]
+
+    def __init__(self) -> None:
+        self.params = {}
+        self.grads = {}
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+    def parameter_count(self) -> int:
+        return sum(int(p.size) for p in self.params.values())
+
+
+class Dense(Layer):
+    """Fully-connected layer ``y = x @ W + b``.
+
+    Args:
+        in_features / out_features: layer geometry.
+        rng: numpy Generator used for Xavier initialization.
+    """
+
+    def __init__(self, in_features: int, out_features: int,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.params = {
+            "W": xavier_uniform(rng, (in_features, out_features),
+                                in_features, out_features),
+            "b": zeros((out_features,)),
+        }
+        self._x: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ValueError(
+                f"Dense expected (N, {self.in_features}), got {x.shape}"
+            )
+        if training:
+            self._x = x
+        return x @ self.params["W"] + self.params["b"]
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward called before forward")
+        self.grads["W"] = self._x.T @ grad_out
+        self.grads["b"] = grad_out.sum(axis=0)
+        return grad_out @ self.params["W"].T
+
+
+class Flatten(Layer):
+    """Reshape ``(N, ...)`` to ``(N, prod(...))``."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        if training:
+            self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._shape is None:
+            raise RuntimeError("backward called before forward")
+        return grad_out.reshape(self._shape)
+
+
+class Sigmoid(Layer):
+    def __init__(self) -> None:
+        super().__init__()
+        self._out: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        out = activations.sigmoid(x)
+        if training:
+            self._out = out
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._out is None:
+            raise RuntimeError("backward called before forward")
+        return grad_out * activations.sigmoid_grad(self._out)
+
+
+class ReLU(Layer):
+    def __init__(self) -> None:
+        super().__init__()
+        self._x: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        if training:
+            self._x = x
+        return activations.relu(x)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward called before forward")
+        return grad_out * activations.relu_grad(self._x)
+
+
+class Tanh(Layer):
+    def __init__(self) -> None:
+        super().__init__()
+        self._out: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        out = activations.tanh(x)
+        if training:
+            self._out = out
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._out is None:
+            raise RuntimeError("backward called before forward")
+        return grad_out * activations.tanh_grad(self._out)

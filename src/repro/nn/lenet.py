@@ -1,0 +1,77 @@
+"""LeNet-5 builders.
+
+``build_lenet5`` follows the architecture the paper adopts (Section
+III-E): C1 conv, S2 average pool, C3 conv, S4 average pool, C5 fully
+connected, output layer -- with sigmoid activations as in the classic
+network and a softmax cross-entropy head.
+
+``build_lenet_small`` is the scaled variant used for the tractable
+CryptoCNN experiments in this reproduction (the encrypted path costs
+thousands of modular exponentiations per image, and the paper itself
+needed 57 hours for two epochs on its testbed).  The topology --
+conv, pool, conv, pool, dense -- and the secure first layer are
+identical; only the spatial dimensions shrink.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.conv import Conv2D, conv_out_dims
+from repro.nn.layers import Dense, Flatten, ReLU, Sigmoid, Tanh
+from repro.nn.model import Sequential
+from repro.nn.pooling import AvgPool2D
+
+
+def build_lenet5(rng: np.random.Generator | None = None,
+                 num_classes: int = 10) -> Sequential:
+    """Classic LeNet-5 for 28x28 single-channel images (MNIST geometry)."""
+    rng = rng or np.random.default_rng()
+    return Sequential([
+        Conv2D(1, 6, filter_size=5, stride=1, padding=2, rng=rng),   # C1: 28x28x6
+        Sigmoid(),
+        AvgPool2D(2),                                                # S2: 14x14x6
+        Conv2D(6, 16, filter_size=5, stride=1, padding=0, rng=rng),  # C3: 10x10x16
+        Sigmoid(),
+        AvgPool2D(2),                                                # S4: 5x5x16
+        Flatten(),
+        Dense(16 * 5 * 5, 120, rng=rng),                             # C5
+        Sigmoid(),
+        Dense(120, 84, rng=rng),                                     # F6
+        Sigmoid(),
+        Dense(84, num_classes, rng=rng),                             # output logits
+    ])
+
+
+def build_lenet_small(rng: np.random.Generator | None = None,
+                      image_size: int = 8, num_classes: int = 10,
+                      conv_channels: int = 4, filter_size: int = 3,
+                      hidden: int = 32, activation: str = "relu") -> Sequential:
+    """LeNet-style model for ``image_size`` x ``image_size`` inputs.
+
+    conv(pad 1) -> act -> avgpool(2) -> dense -> act -> logits.
+    The first conv layer's geometry is what the secure convolution
+    (Algorithm 3) replaces in the CryptoCNN twin of this model.
+
+    ``activation`` defaults to ReLU (one of the typical activation layers
+    the paper lists in Section II-C) because the sigmoid variant needs far
+    more iterations to escape its initial plateau at this small scale;
+    pass ``"sigmoid"`` for the classic LeNet flavour.
+    """
+    rng = rng or np.random.default_rng()
+    try:
+        act = {"relu": ReLU, "sigmoid": Sigmoid, "tanh": Tanh}[activation]
+    except KeyError:
+        raise ValueError(f"unknown activation {activation!r}") from None
+    out_h, out_w = conv_out_dims(image_size, image_size, filter_size, 1, 1)
+    pooled_h, pooled_w = out_h // 2, out_w // 2
+    return Sequential([
+        Conv2D(1, conv_channels, filter_size=filter_size, stride=1, padding=1,
+               rng=rng),
+        act(),
+        AvgPool2D(2),
+        Flatten(),
+        Dense(conv_channels * pooled_h * pooled_w, hidden, rng=rng),
+        act(),
+        Dense(hidden, num_classes, rng=rng),
+    ])

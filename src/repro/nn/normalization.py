@@ -1,0 +1,72 @@
+"""Normalization layers (extensions beyond the paper's models).
+
+BatchNorm sits in the plaintext tail of a CryptoNN model, so it composes
+with the secure trainers unchanged -- one of the "various other neural
+network models" directions the paper's conclusion names.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Layer
+
+
+class BatchNorm1D(Layer):
+    """Batch normalization over (N, features) inputs.
+
+    Standard train-time batch statistics with running estimates for
+    eval mode; learnable scale ``gamma`` and shift ``beta``.
+    """
+
+    def __init__(self, num_features: int, momentum: float = 0.9,
+                 eps: float = 1e-5):
+        super().__init__()
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.num_features = num_features
+        self.momentum = momentum
+        self.eps = eps
+        self.params = {
+            "gamma": np.ones(num_features),
+            "beta": np.zeros(num_features),
+        }
+        self.running_mean = np.zeros(num_features)
+        self.running_var = np.ones(num_features)
+        self._cache: tuple | None = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        if x.ndim != 2 or x.shape[1] != self.num_features:
+            raise ValueError(
+                f"BatchNorm1D expected (N, {self.num_features}), got {x.shape}"
+            )
+        if training:
+            mean = x.mean(axis=0)
+            var = x.var(axis=0)
+            self.running_mean = (self.momentum * self.running_mean
+                                 + (1 - self.momentum) * mean)
+            self.running_var = (self.momentum * self.running_var
+                                + (1 - self.momentum) * var)
+        else:
+            mean, var = self.running_mean, self.running_var
+        std = np.sqrt(var + self.eps)
+        normalized = (x - mean) / std
+        out = self.params["gamma"] * normalized + self.params["beta"]
+        if training:
+            self._cache = (normalized, std)
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        normalized, std = self._cache
+        n = grad_out.shape[0]
+        self.grads["gamma"] = (grad_out * normalized).sum(axis=0)
+        self.grads["beta"] = grad_out.sum(axis=0)
+        # gradient through the normalization (standard batchnorm backward)
+        grad_norm = grad_out * self.params["gamma"]
+        return (
+            grad_norm
+            - grad_norm.mean(axis=0)
+            - normalized * (grad_norm * normalized).mean(axis=0)
+        ) / std

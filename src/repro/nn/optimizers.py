@@ -1,0 +1,83 @@
+"""Optimizers: plain/momentum SGD (used by the paper) and Adam (extra)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Layer
+
+
+class Optimizer:
+    """Walks the layers' ``params``/``grads`` dictionaries in lock-step."""
+
+    def step(self, layers: list[Layer]) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent, optionally with classical momentum.
+
+    The paper trains CryptoCNN "using stochastic gradient descent"
+    (Section IV-B3); momentum defaults to 0 to match.
+    """
+
+    def __init__(self, learning_rate: float = 0.01, momentum: float = 0.0):
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.learning_rate = learning_rate
+        self.momentum = momentum
+        self._velocity: dict[tuple[int, str], np.ndarray] = {}
+
+    def step(self, layers: list[Layer]) -> None:
+        for layer_idx, layer in enumerate(layers):
+            for name, param in layer.params.items():
+                grad = layer.grads.get(name)
+                if grad is None:
+                    raise RuntimeError(
+                        f"{layer.name}.{name} has no gradient; run backward first"
+                    )
+                if self.momentum:
+                    key = (layer_idx, name)
+                    velocity = self._velocity.get(key)
+                    if velocity is None:
+                        velocity = np.zeros_like(param)
+                    velocity = self.momentum * velocity - self.learning_rate * grad
+                    self._velocity[key] = velocity
+                    param += velocity
+                else:
+                    param -= self.learning_rate * grad
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba) -- not used by the paper, provided as an extra."""
+
+    def __init__(self, learning_rate: float = 0.001, beta1: float = 0.9,
+                 beta2: float = 0.999, eps: float = 1e-8):
+        self.learning_rate = learning_rate
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m: dict[tuple[int, str], np.ndarray] = {}
+        self._v: dict[tuple[int, str], np.ndarray] = {}
+        self._t = 0
+
+    def step(self, layers: list[Layer]) -> None:
+        self._t += 1
+        for layer_idx, layer in enumerate(layers):
+            for name, param in layer.params.items():
+                grad = layer.grads.get(name)
+                if grad is None:
+                    raise RuntimeError(
+                        f"{layer.name}.{name} has no gradient; run backward first"
+                    )
+                key = (layer_idx, name)
+                m = self._m.get(key, np.zeros_like(param))
+                v = self._v.get(key, np.zeros_like(param))
+                m = self.beta1 * m + (1 - self.beta1) * grad
+                v = self.beta2 * v + (1 - self.beta2) * grad ** 2
+                self._m[key], self._v[key] = m, v
+                m_hat = m / (1 - self.beta1 ** self._t)
+                v_hat = v / (1 - self.beta2 ** self._t)
+                param -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.eps)

@@ -1,0 +1,79 @@
+"""Average and max pooling layers (the S2/S4 layers of LeNet-5)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.conv import conv_out_dims, im2col, col2im
+from repro.nn.layers import Layer
+
+
+class AvgPool2D(Layer):
+    """Non-overlapping (or strided) average pooling."""
+
+    def __init__(self, pool_size: int, stride: int | None = None):
+        super().__init__()
+        self.pool_size = pool_size
+        self.stride = stride or pool_size
+        self._x_shape: tuple[int, int, int, int] | None = None
+        self._out_dims: tuple[int, int] | None = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        n, c, h, w = x.shape
+        out_h, out_w = conv_out_dims(h, w, self.pool_size, self.stride, 0)
+        # pool per channel: fold channels into the batch dimension
+        reshaped = x.reshape(n * c, 1, h, w)
+        cols, _ = im2col(reshaped, self.pool_size, self.stride, 0)
+        out = cols.mean(axis=1).reshape(n, c, out_h, out_w)
+        if training:
+            self._x_shape = x.shape
+            self._out_dims = (out_h, out_w)
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x_shape is None or self._out_dims is None:
+            raise RuntimeError("backward called before forward")
+        n, c, h, w = self._x_shape
+        area = self.pool_size * self.pool_size
+        grad_cols = np.repeat(
+            grad_out.reshape(n * c * self._out_dims[0] * self._out_dims[1], 1),
+            area, axis=1,
+        ) / area
+        grad = col2im(grad_cols, (n * c, 1, h, w), self.pool_size, self.stride, 0)
+        return grad.reshape(n, c, h, w)
+
+
+class MaxPool2D(Layer):
+    """Max pooling with argmax routing in the backward pass."""
+
+    def __init__(self, pool_size: int, stride: int | None = None):
+        super().__init__()
+        self.pool_size = pool_size
+        self.stride = stride or pool_size
+        self._x_shape: tuple[int, int, int, int] | None = None
+        self._out_dims: tuple[int, int] | None = None
+        self._argmax: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        n, c, h, w = x.shape
+        out_h, out_w = conv_out_dims(h, w, self.pool_size, self.stride, 0)
+        reshaped = x.reshape(n * c, 1, h, w)
+        cols, _ = im2col(reshaped, self.pool_size, self.stride, 0)
+        argmax = cols.argmax(axis=1)
+        out = cols[np.arange(cols.shape[0]), argmax].reshape(n, c, out_h, out_w)
+        if training:
+            self._x_shape = x.shape
+            self._out_dims = (out_h, out_w)
+            self._argmax = argmax
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x_shape is None or self._argmax is None or self._out_dims is None:
+            raise RuntimeError("backward called before forward")
+        n, c, h, w = self._x_shape
+        area = self.pool_size * self.pool_size
+        flat = grad_out.reshape(-1)
+        grad_cols = np.zeros((flat.shape[0], area), dtype=grad_out.dtype)
+        grad_cols[np.arange(flat.shape[0]), self._argmax] = flat
+        grad = col2im(grad_cols, (n * c, 1, h, w), self.pool_size, self.stride, 0)
+        return grad.reshape(n, c, h, w)

@@ -1,0 +1,39 @@
+"""Regularization layers (extensions beyond the paper's models).
+
+The paper's LeNet-5 has no regularization; Dropout is provided for the
+"various other neural network models" the conclusion names as future
+work.  It composes with the CryptoNN trainers unchanged because it sits
+in the plaintext tail of the network.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Layer
+
+
+class Dropout(Layer):
+    """Inverted dropout: scales at train time, identity at eval time."""
+
+    def __init__(self, rate: float, rng: np.random.Generator | None = None):
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ValueError("dropout rate must be in [0, 1)")
+        self.rate = rate
+        self._rng = rng or np.random.default_rng()
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        if not training or self.rate == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.rate
+        self._mask = (self._rng.uniform(size=x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            # rate 0 or eval-mode forward: gradient passes through
+            return grad_out
+        return grad_out * self._mask

@@ -1,0 +1,71 @@
+"""Learning-rate schedules.
+
+Small, optimizer-agnostic helpers: each schedule maps an epoch index to
+a learning rate, and ``apply`` mutates the optimizer in place.  The
+paper trains at a fixed rate; schedules are part of the "explore more
+complex models" future-work surface.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+class Schedule:
+    """Interface: rate(epoch) -> learning rate."""
+
+    def rate(self, epoch: int) -> float:
+        raise NotImplementedError
+
+    def apply(self, optimizer, epoch: int) -> float:
+        """Set ``optimizer.learning_rate`` for ``epoch``; returns the rate."""
+        new_rate = self.rate(epoch)
+        optimizer.learning_rate = new_rate
+        return new_rate
+
+
+class ConstantSchedule(Schedule):
+    def __init__(self, learning_rate: float):
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        self.learning_rate = learning_rate
+
+    def rate(self, epoch: int) -> float:
+        return self.learning_rate
+
+
+class StepDecay(Schedule):
+    """Multiply the rate by ``factor`` every ``step_size`` epochs."""
+
+    def __init__(self, initial: float, factor: float = 0.5,
+                 step_size: int = 10):
+        if not 0 < factor <= 1:
+            raise ValueError("factor must be in (0, 1]")
+        if step_size < 1:
+            raise ValueError("step_size must be >= 1")
+        self.initial = initial
+        self.factor = factor
+        self.step_size = step_size
+
+    def rate(self, epoch: int) -> float:
+        return self.initial * self.factor ** (epoch // self.step_size)
+
+
+class CosineAnnealing(Schedule):
+    """Cosine decay from ``initial`` to ``minimum`` over ``total_epochs``."""
+
+    def __init__(self, initial: float, total_epochs: int,
+                 minimum: float = 0.0):
+        if total_epochs < 1:
+            raise ValueError("total_epochs must be >= 1")
+        if minimum > initial:
+            raise ValueError("minimum cannot exceed initial")
+        self.initial = initial
+        self.total_epochs = total_epochs
+        self.minimum = minimum
+
+    def rate(self, epoch: int) -> float:
+        progress = min(epoch, self.total_epochs) / self.total_epochs
+        return self.minimum + 0.5 * (self.initial - self.minimum) * (
+            1 + math.cos(math.pi * progress)
+        )

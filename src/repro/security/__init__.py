@@ -1,0 +1,24 @@
+"""Executable security experiments.
+
+Theorem 1 of the paper proves FEBO selectively IND-CPA secure under DDH;
+:mod:`repro.security.indcpa` turns the IND-CPA game into a runnable
+harness so the *mechanical* prerequisites of the proof (probabilistic
+encryption above all) can be checked, and a deliberately-broken variant
+can be shown to lose the game.
+"""
+
+from repro.security.indcpa import (
+    DeterministicFeboAdapter,
+    FeboIndCpaAdapter,
+    FeipIndCpaAdapter,
+    replay_distinguisher,
+    run_indcpa_game,
+)
+
+__all__ = [
+    "DeterministicFeboAdapter",
+    "FeboIndCpaAdapter",
+    "FeipIndCpaAdapter",
+    "replay_distinguisher",
+    "run_indcpa_game",
+]

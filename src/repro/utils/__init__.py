@@ -1,0 +1,6 @@
+"""Cross-cutting utilities: logging, timing, deterministic RNG helpers."""
+
+from repro.utils.rng import make_rng, spawn_rngs
+from repro.utils.timer import Stopwatch, time_call
+
+__all__ = ["Stopwatch", "make_rng", "spawn_rngs", "time_call"]

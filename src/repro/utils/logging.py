@@ -1,0 +1,30 @@
+"""Library logging configuration.
+
+The library never configures the root logger; applications opt in via
+:func:`enable_console_logging`.
+"""
+
+from __future__ import annotations
+
+import logging
+
+LIBRARY_LOGGER_NAME = "repro"
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a child logger under the library namespace."""
+    if name.startswith(LIBRARY_LOGGER_NAME):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{LIBRARY_LOGGER_NAME}.{name}")
+
+
+def enable_console_logging(level: int = logging.INFO) -> None:
+    """Attach a simple stderr handler to the library logger."""
+    logger = logging.getLogger(LIBRARY_LOGGER_NAME)
+    if not logger.handlers:
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s")
+        )
+        logger.addHandler(handler)
+    logger.setLevel(level)

@@ -1,0 +1,30 @@
+"""Deterministic randomness plumbing.
+
+Crypto code uses :mod:`random.Random` instances (arbitrary-precision ints),
+the NN substrate uses :class:`numpy.random.Generator`.  Keeping every
+source seeded and explicit makes experiments and tests reproducible --
+Figure 6 requires the plaintext and encrypted pipelines to see identical
+initial weights and batch order.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+
+def make_rng(seed: int | None) -> random.Random:
+    """Return a seeded :class:`random.Random` (fresh entropy when None)."""
+    return random.Random(seed)
+
+
+def make_np_rng(seed: int | None) -> np.random.Generator:
+    """Return a seeded numpy Generator."""
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: int, count: int) -> list[random.Random]:
+    """Derive ``count`` independent streams from one master seed."""
+    master = random.Random(seed)
+    return [random.Random(master.getrandbits(64)) for _ in range(count)]

@@ -1,0 +1,55 @@
+"""Shared fixtures.
+
+Crypto tests run on the 32-bit toy group: the code path is identical to
+the paper's 256-bit setting (see DESIGN.md substitution notes) and the
+suite stays fast.  A handful of tests exercise larger groups explicitly.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.fe.febo import Febo
+from repro.fe.feip import Feip
+from repro.mathutils.dlog import SolverCache
+from repro.mathutils.group import GroupParams, SchnorrGroup
+
+TEST_BITS = 32
+
+
+@pytest.fixture(scope="session")
+def params() -> GroupParams:
+    return GroupParams.predefined(TEST_BITS)
+
+
+@pytest.fixture(scope="session")
+def solver_cache() -> SolverCache:
+    return SolverCache()
+
+
+@pytest.fixture()
+def rng() -> random.Random:
+    return random.Random(12345)
+
+
+@pytest.fixture()
+def np_rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture()
+def group(params, rng) -> SchnorrGroup:
+    return SchnorrGroup(params, rng=rng)
+
+
+@pytest.fixture()
+def feip(params, rng, solver_cache) -> Feip:
+    return Feip(params, rng=rng, solver_cache=solver_cache)
+
+
+@pytest.fixture()
+def febo(params, rng, solver_cache) -> Febo:
+    return Febo(params, rng=rng, solver_cache=solver_cache)

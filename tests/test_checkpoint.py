@@ -1,0 +1,100 @@
+"""Tests for model / encrypted-dataset persistence."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.checkpoint import (
+    load_encrypted_tabular,
+    load_model_weights,
+    save_encrypted_tabular,
+    save_model_weights,
+)
+from repro.core.config import CryptoNNConfig
+from repro.core.cryptonn import CryptoNNTrainer
+from repro.core.entities import Client, TrustedAuthority
+from repro.nn.layers import Dense, ReLU
+from repro.nn.model import Sequential
+from repro.nn.optimizers import SGD
+
+
+class TestModelWeights:
+    def test_roundtrip(self, tmp_path, np_rng):
+        model = Sequential([Dense(3, 4, rng=np_rng), ReLU(),
+                            Dense(4, 2, rng=np_rng)])
+        path = tmp_path / "weights.npz"
+        save_model_weights(model, path)
+        twin = Sequential([Dense(3, 4), ReLU(), Dense(4, 2)])
+        load_model_weights(twin, path)
+        x = np_rng.normal(size=(5, 3))
+        np.testing.assert_allclose(model.predict(x), twin.predict(x))
+
+    def test_architecture_mismatch_detected(self, tmp_path, np_rng):
+        model = Sequential([Dense(3, 4, rng=np_rng)])
+        path = tmp_path / "weights.npz"
+        save_model_weights(model, path)
+        wrong = Sequential([Dense(3, 5)])
+        with pytest.raises(ValueError):
+            load_model_weights(wrong, path)
+
+    def test_missing_key_detected(self, tmp_path, np_rng):
+        model = Sequential([Dense(3, 4, rng=np_rng)])
+        path = tmp_path / "weights.npz"
+        save_model_weights(model, path)
+        bigger = Sequential([Dense(3, 4), ReLU(), Dense(4, 2)])
+        with pytest.raises(KeyError):
+            load_model_weights(bigger, path)
+
+
+class TestEncryptedDataset:
+    @pytest.fixture()
+    def authority(self):
+        return TrustedAuthority(CryptoNNConfig(), rng=random.Random(0))
+
+    def test_roundtrip_preserves_everything(self, tmp_path, authority, np_rng):
+        client = Client(authority)
+        x = np_rng.uniform(-1, 1, size=(6, 3))
+        y = np_rng.integers(0, 2, size=6)
+        dataset = client.encrypt_tabular(x, y, num_classes=2)
+        path = tmp_path / "dataset.json"
+        save_encrypted_tabular(dataset, path)
+        restored = load_encrypted_tabular(path)
+        assert len(restored) == 6
+        assert restored.n_features == 3
+        assert restored.scale == dataset.scale
+        assert restored.eval_labels.tolist() == dataset.eval_labels.tolist()
+        assert restored.samples[0].features_ip == dataset.samples[0].features_ip
+        assert restored.labels[0].onehot_bo == dataset.labels[0].onehot_bo
+
+    def test_restored_dataset_trains(self, tmp_path, authority, np_rng):
+        """The true test: the reloaded ciphertexts decrypt correctly in
+        a full training iteration."""
+        client = Client(authority)
+        x = np_rng.uniform(-1, 1, size=(12, 3))
+        y = (x[:, 0] > 0).astype(int)
+        dataset = client.encrypt_tabular(x, y, num_classes=2)
+        path = tmp_path / "dataset.json"
+        save_encrypted_tabular(dataset, path)
+        restored = load_encrypted_tabular(path)
+        model = Sequential([Dense(3, 4, rng=np_rng), ReLU(),
+                            Dense(4, 2, rng=np_rng)])
+        trainer = CryptoNNTrainer(model, authority)
+        hist = trainer.fit(restored, SGD(0.5), epochs=1, batch_size=6,
+                           rng=np.random.default_rng(0))
+        assert len(hist.batch_loss) == 2
+
+    def test_bad_format_rejected(self, tmp_path):
+        path = tmp_path / "garbage.json"
+        path.write_text('{"format": "something-else"}')
+        with pytest.raises(ValueError):
+            load_encrypted_tabular(path)
+
+    def test_none_eval_labels_roundtrip(self, tmp_path, authority, np_rng):
+        client = Client(authority)
+        x = np_rng.uniform(-1, 1, size=(2, 2))
+        dataset = client.encrypt_tabular(x, np.array([0, 1]), num_classes=2)
+        dataset.eval_labels = None
+        path = tmp_path / "noeval.json"
+        save_encrypted_tabular(dataset, path)
+        assert load_encrypted_tabular(path).eval_labels is None

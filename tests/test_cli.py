@@ -1,0 +1,86 @@
+"""Tests for the CLI (direct main() calls, no subprocess)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestInfoAndDemo:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "CryptoNN" in out
+        assert "256" in out
+
+    def test_demo_trains(self, capsys):
+        assert main(["demo", "--samples", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "accuracy" in out
+
+
+class TestFileWorkflow:
+    def test_full_roundtrip(self, tmp_path, capsys):
+        authority_path = str(tmp_path / "authority.json")
+        data_path = str(tmp_path / "data.json")
+        model_path = str(tmp_path / "model.npz")
+
+        assert main(["keygen", "--out", authority_path, "--bits", "32",
+                     "--features", "4", "--classes", "2"]) == 0
+        assert main(["encrypt", "--authority", authority_path,
+                     "--out", data_path, "--clinics", "1",
+                     "--samples", "30", "--features", "4"]) == 0
+        assert main(["train", "--authority", authority_path,
+                     "--data", data_path, "--model-out", model_path,
+                     "--hidden", "6", "--epochs", "2",
+                     "--batch-size", "15"]) == 0
+        assert main(["evaluate", "--authority", authority_path,
+                     "--data", data_path, "--model", model_path,
+                     "--hidden", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "accuracy over encrypted data" in out
+
+    def test_keygen_warns_about_secrets(self, tmp_path, capsys):
+        main(["keygen", "--out", str(tmp_path / "a.json"), "--bits", "32"])
+        assert "master secret" in capsys.readouterr().out
+
+    def test_train_on_missing_file_fails(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            main(["train", "--authority", str(tmp_path / "nope.json"),
+                  "--data", str(tmp_path / "nope2.json")])
+
+
+class TestAuthorityRoundtrip:
+    def test_keys_survive_reload(self, tmp_path):
+        """Ciphertexts made before save must decrypt after load."""
+        import random
+        from repro.core.checkpoint import load_authority, save_authority
+        from repro.core.config import CryptoNNConfig
+        from repro.core.entities import TrustedAuthority
+
+        authority = TrustedAuthority(CryptoNNConfig(), rng=random.Random(0))
+        mpk = authority.feip_public_key(3)
+        ct = authority.feip.encrypt(mpk, [1, 2, 3])
+        path = tmp_path / "authority.json"
+        save_authority(authority, path)
+
+        restored = load_authority(path, rng=random.Random(1))
+        key = restored.derive_feip_keys([[4, 5, 6]])[0]
+        assert restored.feip.decrypt(restored.feip_public_key(3), ct, key,
+                                     bound=1000) == 32
+
+    def test_bad_format_rejected(self, tmp_path):
+        from repro.core.checkpoint import load_authority
+        path = tmp_path / "bad.json"
+        path.write_text('{"format": "nope"}')
+        with pytest.raises(ValueError):
+            load_authority(path)

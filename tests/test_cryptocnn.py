@@ -1,0 +1,87 @@
+"""Integration tests for CryptoCNN (Section III-E)."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.config import CryptoNNConfig
+from repro.core.cryptocnn import CryptoCNNTrainer
+from repro.core.entities import Client, TrustedAuthority
+from repro.data.preprocess import one_hot
+from repro.data.synth_digits import load_synth_digits
+from repro.nn.layers import Dense
+from repro.nn.lenet import build_lenet_small
+from repro.nn.losses import SoftmaxCrossEntropyLoss
+from repro.nn.model import Sequential
+from repro.nn.optimizers import SGD
+
+
+@pytest.fixture()
+def authority():
+    return TrustedAuthority(CryptoNNConfig(), rng=random.Random(0))
+
+
+@pytest.fixture(scope="module")
+def digits():
+    train, _ = load_synth_digits(n_train=60, n_test=10, canvas=8, seed=4)
+    return train
+
+
+class TestConstruction:
+    def test_requires_conv_first_layer(self, authority, np_rng):
+        model = Sequential([Dense(4, 2, rng=np_rng)])
+        with pytest.raises(TypeError):
+            CryptoCNNTrainer(model, authority)
+
+    def test_geometry_mismatch_detected(self, authority, digits, np_rng):
+        client = Client(authority)
+        enc = client.encrypt_images(digits.x[:4], digits.y[:4], num_classes=10,
+                                    filter_size=3, stride=1, padding=0)
+        model = build_lenet_small(np_rng, image_size=8)  # expects padding=1
+        trainer = CryptoCNNTrainer(model, authority)
+        with pytest.raises(ValueError, match="geometry"):
+            trainer.fit(enc, SGD(0.1), epochs=1, batch_size=4)
+
+
+class TestTrainingMatchesPlaintextTwin:
+    def test_twin_trajectories_agree(self, authority, digits, np_rng):
+        client = Client(authority)
+        n = 40
+        enc = client.encrypt_images(digits.x[:n], digits.y[:n], num_classes=10,
+                                    filter_size=3, stride=1, padding=1)
+        model = build_lenet_small(np_rng, image_size=8)
+        twin = build_lenet_small(np.random.default_rng(555), image_size=8)
+        twin.set_weights(model.get_weights())
+        trainer = CryptoCNNTrainer(model, authority)
+        hist_secure = trainer.fit(enc, SGD(0.5), epochs=1, batch_size=10,
+                                  rng=np.random.default_rng(3))
+        hist_plain = twin.fit(digits.x[:n], one_hot(digits.y[:n], 10),
+                              SoftmaxCrossEntropyLoss(), SGD(0.5), epochs=1,
+                              batch_size=10, rng=np.random.default_rng(3))
+        np.testing.assert_allclose(hist_secure.batch_loss,
+                                   hist_plain.batch_loss, atol=0.1)
+
+    def test_counters_match_expected_costs(self, authority, digits, np_rng):
+        client = Client(authority)
+        enc = client.encrypt_images(digits.x[:5], digits.y[:5], num_classes=10,
+                                    filter_size=3, stride=1, padding=1)
+        model = build_lenet_small(np_rng, image_size=8, conv_channels=4)
+        trainer = CryptoCNNTrainer(model, authority)
+        trainer.fit(enc, SGD(0.1), epochs=1, batch_size=5,
+                    rng=np.random.default_rng(0))
+        snap = trainer.counters.snapshot()
+        # forward: 64 windows x 4 filters x 5 images + 5 loss decrypts
+        assert snap["feip_decrypts"] == 64 * 4 * 5 + 5
+        # backward: 10-class P-Y per sample + 64 pixels per image once
+        assert snap["febo_decrypts"] == 5 * 10 + 5 * 64
+
+    def test_prediction_shape(self, authority, digits, np_rng):
+        client = Client(authority)
+        enc = client.encrypt_images(digits.x[:6], digits.y[:6], num_classes=10,
+                                    filter_size=3, stride=1, padding=1)
+        model = build_lenet_small(np_rng, image_size=8)
+        trainer = CryptoCNNTrainer(model, authority)
+        probs = trainer.predict(enc, np.arange(3))
+        assert probs.shape == (3, 10)
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(3))

@@ -1,0 +1,136 @@
+"""Integration tests for the CryptoNN trainer (Algorithm 2)."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.config import CryptoNNConfig
+from repro.core.cryptonn import CryptoNNTrainer
+from repro.core.entities import Client, TrustedAuthority
+from repro.data.preprocess import one_hot
+from repro.data.tabular import load_clinics
+from repro.nn.conv import Conv2D
+from repro.nn.layers import Dense, ReLU, Sigmoid
+from repro.nn.losses import MSELoss, SoftmaxCrossEntropyLoss
+from repro.nn.model import Sequential
+from repro.nn.optimizers import SGD
+
+
+@pytest.fixture()
+def authority():
+    return TrustedAuthority(CryptoNNConfig(), rng=random.Random(0))
+
+
+@pytest.fixture()
+def clinic_data():
+    shard = load_clinics(n_clinics=1, samples_per_clinic=80, n_features=4,
+                         seed=7)[0]
+    x = np.clip(shard.x / (np.abs(shard.x).max() + 1e-9), -1, 1)
+    return x, shard.y
+
+
+def make_model(np_rng, in_features=4, hidden=6, classes=2):
+    return Sequential([
+        Dense(in_features, hidden, rng=np_rng),
+        ReLU(),
+        Dense(hidden, classes, rng=np_rng),
+    ])
+
+
+class TestConstruction:
+    def test_requires_dense_first_layer(self, authority, np_rng):
+        model = Sequential([Conv2D(1, 1, 2, rng=np_rng)])
+        with pytest.raises(TypeError):
+            CryptoNNTrainer(model, authority)
+
+    def test_unknown_loss(self, authority, np_rng):
+        with pytest.raises(ValueError):
+            CryptoNNTrainer(make_model(np_rng), authority, loss="hinge")
+
+
+class TestTrainingMatchesPlaintextTwin:
+    def test_cross_entropy_twin_identical_trajectory(self, authority,
+                                                     clinic_data, np_rng):
+        """The headline claim: training over encrypted data produces the
+        same model (up to fixed-point noise) as plaintext training."""
+        x, y = clinic_data
+        client = Client(authority)
+        enc = client.encrypt_tabular(x, y, num_classes=2)
+        model = make_model(np_rng)
+        twin = make_model(np.random.default_rng(999))
+        twin.set_weights(model.get_weights())
+        trainer = CryptoNNTrainer(model, authority)
+        hist_secure = trainer.fit(enc, SGD(0.5), epochs=2, batch_size=16,
+                                  rng=np.random.default_rng(1))
+        hist_plain = twin.fit(x, one_hot(y, 2), SoftmaxCrossEntropyLoss(),
+                              SGD(0.5), epochs=2, batch_size=16,
+                              rng=np.random.default_rng(1))
+        # identical batch order + near-identical numerics -> same accuracies
+        np.testing.assert_allclose(hist_secure.batch_accuracy,
+                                   hist_plain.batch_accuracy, atol=0.15)
+        assert trainer.evaluate(enc) == pytest.approx(
+            twin.evaluate(x, one_hot(y, 2)), abs=0.1
+        )
+
+    def test_mse_training_learns(self, authority, clinic_data, np_rng):
+        x, y = clinic_data
+        client = Client(authority)
+        enc = client.encrypt_tabular(x, y, num_classes=2)
+        model = Sequential([
+            Dense(4, 6, rng=np_rng), Sigmoid(),
+            Dense(6, 2, rng=np_rng), Sigmoid(),
+        ])
+        trainer = CryptoNNTrainer(model, authority, loss="mse")
+        # sigmoid + MSE needs momentum to escape its plateau quickly
+        trainer.fit(enc, SGD(2.0, momentum=0.9), epochs=6, batch_size=16,
+                    rng=np.random.default_rng(2))
+        assert trainer.evaluate(enc) > 0.7
+
+
+class TestMechanics:
+    def test_history_and_max_batches(self, authority, clinic_data, np_rng):
+        x, y = clinic_data
+        enc = Client(authority).encrypt_tabular(x, y, num_classes=2)
+        trainer = CryptoNNTrainer(make_model(np_rng), authority)
+        hist = trainer.fit(enc, SGD(0.1), epochs=5, batch_size=16,
+                           max_batches=3, rng=np.random.default_rng(0))
+        assert len(hist.batch_loss) == 3
+
+    def test_counters_accumulate(self, authority, clinic_data, np_rng):
+        x, y = clinic_data
+        enc = Client(authority).encrypt_tabular(x, y, num_classes=2)
+        trainer = CryptoNNTrainer(make_model(np_rng), authority)
+        trainer.fit(enc, SGD(0.1), epochs=1, batch_size=20, max_batches=1,
+                    rng=np.random.default_rng(0))
+        snap = trainer.counters.snapshot()
+        assert snap["feip_decrypts"] == 20 * 6 + 20   # dot products + losses
+        assert snap["febo_decrypts"] == 20 * 2 + 20 * 4  # P-Y + reconstruction
+
+    def test_predict_returns_probabilities(self, authority, clinic_data,
+                                           np_rng):
+        x, y = clinic_data
+        enc = Client(authority).encrypt_tabular(x, y, num_classes=2)
+        trainer = CryptoNNTrainer(make_model(np_rng), authority)
+        probs = trainer.predict(enc, np.arange(5))
+        assert probs.shape == (5, 2)
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(5))
+
+    def test_on_batch_callback(self, authority, clinic_data, np_rng):
+        x, y = clinic_data
+        enc = Client(authority).encrypt_tabular(x, y, num_classes=2)
+        trainer = CryptoNNTrainer(make_model(np_rng), authority)
+        seen = []
+        trainer.fit(enc, SGD(0.1), epochs=1, batch_size=40,
+                    rng=np.random.default_rng(0),
+                    on_batch=lambda i, l, a: seen.append(i))
+        assert seen == [0, 1]
+
+    def test_evaluate_requires_eval_labels(self, authority, clinic_data,
+                                           np_rng):
+        x, y = clinic_data
+        enc = Client(authority).encrypt_tabular(x, y, num_classes=2)
+        enc.eval_labels = None
+        trainer = CryptoNNTrainer(make_model(np_rng), authority)
+        with pytest.raises(ValueError):
+            trainer.evaluate(enc)

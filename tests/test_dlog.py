@@ -1,0 +1,91 @@
+"""Unit tests for the bounded discrete-log solver."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.mathutils.dlog import (
+    DiscreteLogError,
+    DlogSolver,
+    SolverCache,
+    discrete_log_linear,
+)
+
+
+class TestDlogSolver:
+    def test_solves_zero(self, group):
+        solver = DlogSolver(group, bound=100)
+        assert solver.solve(1) == 0
+
+    def test_solves_positive_and_negative(self, group):
+        solver = DlogSolver(group, bound=1000)
+        for m in (1, 42, 999, -1, -999, 1000, -1000):
+            assert solver.solve(group.gexp(m)) == m
+
+    def test_out_of_bound_raises(self, group):
+        solver = DlogSolver(group, bound=50)
+        with pytest.raises(DiscreteLogError):
+            solver.solve(group.gexp(51))
+        with pytest.raises(DiscreteLogError):
+            solver.solve(group.gexp(-51))
+
+    def test_solve_nonneg(self, group):
+        solver = DlogSolver(group, bound=50)
+        assert solver.solve_nonneg(group.gexp(7)) == 7
+        with pytest.raises(DiscreteLogError):
+            solver.solve_nonneg(group.gexp(-7))
+
+    def test_bound_zero_only_identity(self, group):
+        solver = DlogSolver(group, bound=0)
+        assert solver.solve(1) == 0
+        with pytest.raises(DiscreteLogError):
+            solver.solve(group.gexp(1))
+
+    def test_rejects_negative_bound(self, group):
+        with pytest.raises(ValueError):
+            DlogSolver(group, bound=-1)
+
+    def test_rejects_window_larger_than_group(self, group):
+        with pytest.raises(ValueError):
+            DlogSolver(group, bound=group.q)
+
+    def test_custom_table_size(self, group):
+        solver = DlogSolver(group, bound=500, table_size=10)
+        for m in (-500, -3, 0, 77, 500):
+            assert solver.solve(group.gexp(m)) == m
+
+    @settings(max_examples=50, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(st.integers(min_value=-4096, max_value=4096))
+    def test_property_roundtrip(self, group, m):
+        # the group fixture is stateless here, so sharing it across
+        # hypothesis examples is safe
+        solver = DlogSolver(group, bound=4096)
+        assert solver.solve(group.gexp(m)) == m
+
+    def test_agrees_with_linear_scan(self, group):
+        solver = DlogSolver(group, bound=64)
+        for m in range(-64, 65, 7):
+            h = group.gexp(m)
+            assert solver.solve(h) == m
+            if m != 0:
+                assert discrete_log_linear(group, h, 64) == m
+
+
+class TestSolverCache:
+    def test_reuses_solver(self, group):
+        cache = SolverCache()
+        first = cache.get(group, 100)
+        second = cache.get(group, 100)
+        assert first is second
+        assert len(cache) == 1
+
+    def test_distinct_bounds_distinct_solvers(self, group):
+        cache = SolverCache()
+        assert cache.get(group, 100) is not cache.get(group, 200)
+        assert len(cache) == 2
+
+    def test_clear(self, group):
+        cache = SolverCache()
+        cache.get(group, 10)
+        cache.clear()
+        assert len(cache) == 0

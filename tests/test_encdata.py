@@ -1,0 +1,46 @@
+"""Tests for the encrypted-data containers and batching."""
+
+import numpy as np
+import pytest
+
+from repro.core.encdata import DecryptionCounters, batch_indices
+
+
+class TestBatchIndices:
+    def test_partition_covers_everything(self, np_rng):
+        batches = batch_indices(23, 5, np_rng)
+        flat = np.concatenate(batches)
+        assert sorted(flat.tolist()) == list(range(23))
+        assert [len(b) for b in batches] == [5, 5, 5, 5, 3]
+
+    def test_no_shuffle_is_ordered(self):
+        batches = batch_indices(6, 4, shuffle=False)
+        assert batches[0].tolist() == [0, 1, 2, 3]
+        assert batches[1].tolist() == [4, 5]
+
+    def test_shuffle_respects_rng(self):
+        a = batch_indices(10, 3, np.random.default_rng(1))
+        b = batch_indices(10, 3, np.random.default_rng(1))
+        for x, y in zip(a, b):
+            assert x.tolist() == y.tolist()
+
+    def test_batch_larger_than_dataset(self):
+        batches = batch_indices(3, 10, shuffle=False)
+        assert len(batches) == 1
+        assert len(batches[0]) == 3
+
+
+class TestDecryptionCounters:
+    def test_snapshot(self):
+        counters = DecryptionCounters()
+        counters.feip_decrypts += 3
+        counters.febo_keys_requested += 2
+        snap = counters.snapshot()
+        assert snap == {"feip_decrypts": 3, "febo_decrypts": 0,
+                        "feip_keys_requested": 0, "febo_keys_requested": 2}
+
+    def test_snapshot_is_a_copy(self):
+        counters = DecryptionCounters()
+        snap = counters.snapshot()
+        counters.feip_decrypts = 99
+        assert snap["feip_decrypts"] == 0

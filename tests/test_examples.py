@@ -1,0 +1,48 @@
+"""Smoke tests for the runnable examples.
+
+Each example is loaded from its file path (examples/ is not a package)
+and the light ones are executed end to end, so the documented entry
+points cannot rot silently.
+"""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+ALL_EXAMPLES = [
+    "quickstart",
+    "clinic_mlp",
+    "crypto_cnn_digits",
+    "distributed_clinics",
+    "secure_inference",
+]
+
+
+def load_example(name: str):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("name", ALL_EXAMPLES)
+def test_example_importable_and_has_main(name):
+    module = load_example(name)
+    assert callable(module.main)
+    assert module.__doc__, "examples must document themselves"
+
+
+def test_quickstart_runs(capsys):
+    load_example("quickstart").main()
+    out = capsys.readouterr().out
+    assert "All quickstart checks passed" in out
+
+
+def test_secure_inference_runs(capsys):
+    load_example("secure_inference").main()
+    out = capsys.readouterr().out
+    assert "encrypted queries" in out

@@ -1,0 +1,139 @@
+"""Unit + property tests for the FEBO basic-operations scheme."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fe.errors import FunctionKeyError, UnsupportedOperationError
+from repro.fe.febo import Febo, FeboOp
+from repro.mathutils.dlog import DiscreteLogError
+
+values = st.integers(min_value=-500, max_value=500)
+
+
+def roundtrip(febo, mpk, msk, x, op, y, bound=10 ** 6):
+    ct = febo.encrypt(mpk, x)
+    key = febo.key_derive(msk, ct.cmt, op, y)
+    return febo.decrypt(mpk, key, ct, bound=bound)
+
+
+class TestOps:
+    @pytest.fixture()
+    def keys(self, febo):
+        return febo.setup()
+
+    def test_addition(self, febo, keys):
+        mpk, msk = keys
+        assert roundtrip(febo, mpk, msk, 17, "+", 25) == 42
+
+    def test_subtraction(self, febo, keys):
+        mpk, msk = keys
+        assert roundtrip(febo, mpk, msk, 17, "-", 25) == -8
+
+    def test_multiplication(self, febo, keys):
+        mpk, msk = keys
+        assert roundtrip(febo, mpk, msk, -6, "*", 7) == -42
+
+    def test_exact_division(self, febo, keys):
+        mpk, msk = keys
+        assert roundtrip(febo, mpk, msk, 84, "/", 7) == 12
+        assert roundtrip(febo, mpk, msk, 84, "/", -7) == -12
+
+    def test_multiply_by_zero(self, febo, keys):
+        mpk, msk = keys
+        assert roundtrip(febo, mpk, msk, 99, "*", 0) == 0
+
+    def test_multiply_by_one_reveals_plaintext(self, febo, keys):
+        """The direct-inference capability the paper concedes: an
+        authorized decryptor recovers x from x * 1."""
+        mpk, msk = keys
+        assert roundtrip(febo, mpk, msk, -123, "*", 1) == -123
+
+    def test_add_negative_operand(self, febo, keys):
+        mpk, msk = keys
+        assert roundtrip(febo, mpk, msk, 10, "+", -25) == -15
+
+    @settings(max_examples=40, deadline=None)
+    @given(x=values, y=values, op=st.sampled_from(["+", "-", "*"]))
+    def test_property_add_sub_mul(self, params, solver_cache, x, y, op):
+        febo = Febo(params, rng=random.Random(0), solver_cache=solver_cache)
+        mpk, msk = febo.setup()
+        expected = {"+": x + y, "-": x - y, "*": x * y}[op]
+        assert roundtrip(febo, mpk, msk, x, op, y) == expected
+
+    @settings(max_examples=30, deadline=None)
+    @given(quotient=st.integers(min_value=-50, max_value=50),
+           y=st.integers(min_value=1, max_value=50))
+    def test_property_exact_division(self, params, solver_cache, quotient, y):
+        febo = Febo(params, rng=random.Random(0), solver_cache=solver_cache)
+        mpk, msk = febo.setup()
+        assert roundtrip(febo, mpk, msk, quotient * y, "/", y) == quotient
+
+
+class TestFailureModes:
+    @pytest.fixture()
+    def keys(self, febo):
+        return febo.setup()
+
+    def test_division_by_zero_rejected(self, febo, keys):
+        mpk, msk = keys
+        ct = febo.encrypt(mpk, 10)
+        with pytest.raises(FunctionKeyError):
+            febo.key_derive(msk, ct.cmt, "/", 0)
+
+    def test_inexact_division_fails_dlog(self, febo, keys):
+        mpk, msk = keys
+        ct = febo.encrypt(mpk, 10)
+        key = febo.key_derive(msk, ct.cmt, "/", 3)
+        with pytest.raises(DiscreteLogError):
+            febo.decrypt(mpk, key, ct, bound=10 ** 6)
+
+    def test_unknown_operation(self, febo, keys):
+        mpk, msk = keys
+        ct = febo.encrypt(mpk, 1)
+        with pytest.raises(UnsupportedOperationError):
+            febo.key_derive(msk, ct.cmt, "%", 2)
+
+    def test_key_bound_to_ciphertext(self, febo, keys):
+        """FEBO keys are per-ciphertext; reusing one on another ciphertext
+        must fail loudly, not decrypt to garbage."""
+        mpk, msk = keys
+        ct_a = febo.encrypt(mpk, 1)
+        ct_b = febo.encrypt(mpk, 2)
+        key_a = febo.key_derive(msk, ct_a.cmt, "+", 5)
+        with pytest.raises(FunctionKeyError):
+            febo.decrypt(mpk, key_a, ct_b, bound=100)
+
+    def test_result_outside_bound(self, febo, keys):
+        mpk, msk = keys
+        assert roundtrip(febo, mpk, msk, 50, "*", 50, bound=2501) == 2500
+        ct = febo.encrypt(mpk, 51)
+        key = febo.key_derive(msk, ct.cmt, "*", 50)
+        with pytest.raises(DiscreteLogError):
+            febo.decrypt(mpk, key, ct, bound=2500)
+
+
+class TestSemanticBehaviour:
+    def test_fresh_randomness_per_encryption(self, febo):
+        mpk, _ = febo.setup()
+        a = febo.encrypt(mpk, 7)
+        b = febo.encrypt(mpk, 7)
+        assert (a.cmt, a.ct) != (b.cmt, b.ct)
+
+    def test_op_coerce(self):
+        assert FeboOp.coerce("+") is FeboOp.ADD
+        assert FeboOp.coerce(FeboOp.DIV) is FeboOp.DIV
+        with pytest.raises(UnsupportedOperationError):
+            FeboOp.coerce("pow")
+
+    def test_correctness_follows_paper_equations(self, febo):
+        """Explicitly verify the four decryption equations of Section
+        III-B against the group-element forms."""
+        mpk, msk = febo.setup()
+        g = febo.group
+        x, y = 9, 4
+        ct = febo.encrypt(mpk, x)
+        for op, expected in (("+", x + y), ("-", x - y), ("*", x * y)):
+            key = febo.key_derive(msk, ct.cmt, op, y)
+            assert febo.decrypt_raw(mpk, key, ct) == g.gexp(expected)

@@ -1,0 +1,130 @@
+"""Unit + property tests for the FEIP inner-product scheme."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fe.errors import CiphertextError, FunctionKeyError
+from repro.fe.feip import Feip
+from repro.mathutils.dlog import DiscreteLogError
+from repro.mathutils.group import GroupParams
+
+small_ints = st.integers(min_value=-50, max_value=50)
+
+
+class TestSetup:
+    def test_key_lengths(self, feip):
+        mpk, msk = feip.setup(4)
+        assert mpk.eta == msk.eta == 4
+        assert all(feip.group.contains(h) for h in mpk.h)
+
+    def test_rejects_zero_length(self, feip):
+        with pytest.raises(ValueError):
+            feip.setup(0)
+
+    def test_public_key_matches_master(self, feip):
+        mpk, msk = feip.setup(3)
+        assert all(feip.group.gexp(s) == h for s, h in zip(msk.s, mpk.h))
+
+
+class TestCorrectness:
+    def test_basic_inner_product(self, feip):
+        mpk, msk = feip.setup(3)
+        ct = feip.encrypt(mpk, [1, 2, 3])
+        key = feip.key_derive(msk, [4, 5, 6])
+        assert feip.decrypt(mpk, ct, key, bound=100) == 32
+
+    def test_negative_entries(self, feip):
+        mpk, msk = feip.setup(2)
+        ct = feip.encrypt(mpk, [-7, 3])
+        key = feip.key_derive(msk, [2, -5])
+        assert feip.decrypt(mpk, ct, key, bound=100) == -29
+
+    def test_zero_vector(self, feip):
+        mpk, msk = feip.setup(2)
+        ct = feip.encrypt(mpk, [0, 0])
+        key = feip.key_derive(msk, [9, 9])
+        assert feip.decrypt(mpk, ct, key, bound=10) == 0
+
+    def test_length_one_vectors(self, feip):
+        mpk, msk = feip.setup(1)
+        ct = feip.encrypt(mpk, [13])
+        key = feip.key_derive(msk, [-3])
+        assert feip.decrypt(mpk, ct, key, bound=50) == -39
+
+    @settings(max_examples=40, deadline=None)
+    @given(x=st.lists(small_ints, min_size=1, max_size=8),
+           data=st.data())
+    def test_property_random_vectors(self, params, solver_cache, x, data):
+        y = data.draw(st.lists(small_ints, min_size=len(x), max_size=len(x)))
+        feip = Feip(params, rng=random.Random(0), solver_cache=solver_cache)
+        mpk, msk = feip.setup(len(x))
+        ct = feip.encrypt(mpk, x)
+        key = feip.key_derive(msk, y)
+        expected = sum(a * b for a, b in zip(x, y))
+        bound = 50 * 50 * len(x) + 1
+        assert feip.decrypt(mpk, ct, key, bound=bound) == expected
+
+
+class TestFailureModes:
+    def test_encrypt_length_mismatch(self, feip):
+        mpk, _ = feip.setup(3)
+        with pytest.raises(CiphertextError):
+            feip.encrypt(mpk, [1, 2])
+
+    def test_key_derive_length_mismatch(self, feip):
+        _, msk = feip.setup(3)
+        with pytest.raises(FunctionKeyError):
+            feip.key_derive(msk, [1, 2, 3, 4])
+
+    def test_decrypt_with_wrong_keypair_raises_dlog_error(self, feip):
+        mpk_a, msk_a = feip.setup(2)
+        mpk_b, msk_b = feip.setup(2)
+        ct = feip.encrypt(mpk_a, [1, 2])
+        wrong_key = feip.key_derive(msk_b, [3, 4])
+        with pytest.raises(DiscreteLogError):
+            feip.decrypt(mpk_a, ct, wrong_key, bound=1000)
+
+    def test_tampered_ciphertext_detected(self, feip):
+        mpk, msk = feip.setup(2)
+        ct = feip.encrypt(mpk, [1, 2])
+        key = feip.key_derive(msk, [3, 4])
+        tampered = type(ct)(ct0=ct.ct0,
+                            ct=(feip.group.mul(ct.ct[0], feip.group.gexp(99999)),
+                                ct.ct[1]))
+        with pytest.raises(DiscreteLogError):
+            feip.decrypt(mpk, tampered, key, bound=1000)
+
+    def test_result_outside_bound(self, feip):
+        mpk, msk = feip.setup(1)
+        ct = feip.encrypt(mpk, [100])
+        key = feip.key_derive(msk, [100])
+        with pytest.raises(DiscreteLogError):
+            feip.decrypt(mpk, ct, key, bound=100)  # true value 10000
+
+
+class TestSemanticBehaviour:
+    def test_same_plaintext_fresh_randomness(self, feip):
+        mpk, _ = feip.setup(2)
+        a = feip.encrypt(mpk, [5, 5])
+        b = feip.encrypt(mpk, [5, 5])
+        assert a.ct0 != b.ct0
+        assert a.ct != b.ct
+
+    def test_key_is_linear_in_y(self, feip):
+        """sk_{y1+y2} = sk_{y1} + sk_{y2} (mod q) -- the known FEIP
+        malleability that makes authority-side policy necessary."""
+        _, msk = feip.setup(2)
+        k1 = feip.key_derive(msk, [1, 0])
+        k2 = feip.key_derive(msk, [0, 1])
+        k12 = feip.key_derive(msk, [1, 1])
+        assert (k1.sk + k2.sk) % feip.group.q == k12.sk
+
+    def test_works_on_larger_group(self, solver_cache):
+        feip = Feip(GroupParams.predefined(128), rng=random.Random(5),
+                    solver_cache=solver_cache)
+        mpk, msk = feip.setup(4)
+        ct = feip.encrypt(mpk, [10, -20, 30, -40])
+        key = feip.key_derive(msk, [1, 2, 3, 4])
+        assert feip.decrypt(mpk, ct, key, bound=10_000) == 10 - 40 + 90 - 160

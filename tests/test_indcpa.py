@@ -1,0 +1,60 @@
+"""Tests for the IND-CPA game harness."""
+
+import random
+
+import pytest
+
+from repro.security.indcpa import (
+    DeterministicFeboAdapter,
+    FeboIndCpaAdapter,
+    FeipIndCpaAdapter,
+    replay_distinguisher,
+    run_indcpa_game,
+)
+
+
+class TestGameMechanics:
+    def test_identical_messages_rejected(self, params):
+        adapter = FeboIndCpaAdapter(params, rng=random.Random(0))
+        with pytest.raises(ValueError):
+            run_indcpa_game(adapter, m0=5, m1=5)
+
+    def test_advantage_in_unit_interval(self, params):
+        adapter = FeboIndCpaAdapter(params, rng=random.Random(0))
+        adv = run_indcpa_game(adapter, trials=50, rng=random.Random(1))
+        assert 0.0 <= adv <= 1.0
+
+
+class TestSecureSchemesResistReplay:
+    def test_febo_replay_advantage_negligible(self, params):
+        adapter = FeboIndCpaAdapter(params, rng=random.Random(0))
+        adv = run_indcpa_game(adapter, trials=400, rng=random.Random(1))
+        # a fair coin over 400 trials stays within ~0.15 with high prob.
+        assert adv < 0.2
+
+    def test_feip_replay_advantage_negligible(self, params):
+        adapter = FeipIndCpaAdapter(params, rng=random.Random(0))
+        adv = run_indcpa_game(adapter, trials=400, rng=random.Random(2))
+        assert adv < 0.2
+
+
+class TestBrokenSchemeLoses:
+    def test_deterministic_febo_fully_broken(self, params):
+        """With the nonce fixed, the replay adversary wins every trial --
+        exactly why Encrypt must draw fresh randomness."""
+        adapter = DeterministicFeboAdapter(params, rng=random.Random(0))
+        adv = run_indcpa_game(adapter, trials=100, rng=random.Random(3))
+        assert adv == 1.0
+
+    def test_deterministic_ciphertexts_repeat(self, params):
+        adapter = DeterministicFeboAdapter(params, rng=random.Random(0))
+        pk = adapter.keygen()
+        assert adapter.encrypt(pk, 9) == adapter.encrypt(pk, 9)
+
+    def test_replay_distinguisher_blind_on_secure_scheme(self, params):
+        adapter = FeboIndCpaAdapter(params, rng=random.Random(0))
+        pk = adapter.keygen()
+        challenge = adapter.encrypt(pk, 3)
+        # fresh randomness means re-encryption almost surely differs
+        guess = replay_distinguisher(adapter, pk, challenge, 3, 17)
+        assert guess in (0, 1)

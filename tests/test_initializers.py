@@ -1,0 +1,34 @@
+"""Tests for weight initializers."""
+
+import numpy as np
+
+from repro.nn.initializers import he_normal, xavier_uniform, zeros
+
+
+class TestXavier:
+    def test_bounds(self, np_rng):
+        w = xavier_uniform(np_rng, (50, 60), fan_in=50, fan_out=60)
+        limit = np.sqrt(6.0 / 110)
+        assert np.abs(w).max() <= limit
+        assert w.shape == (50, 60)
+
+    def test_roughly_zero_mean(self, np_rng):
+        w = xavier_uniform(np_rng, (200, 200), fan_in=200, fan_out=200)
+        assert abs(w.mean()) < 0.01
+
+
+class TestHeNormal:
+    def test_variance_scales_with_fan_in(self, np_rng):
+        w = he_normal(np_rng, (400, 400), fan_in=400)
+        expected_std = np.sqrt(2.0 / 400)
+        assert abs(w.std() - expected_std) / expected_std < 0.1
+
+    def test_shape(self, np_rng):
+        assert he_normal(np_rng, (3, 2, 4, 4), fan_in=32).shape == (3, 2, 4, 4)
+
+
+def test_zeros():
+    z = zeros((2, 3))
+    assert z.shape == (2, 3)
+    assert (z == 0).all()
+    assert z.dtype == np.float64

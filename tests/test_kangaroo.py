@@ -1,0 +1,49 @@
+"""Tests for the Pollard kangaroo discrete-log solver."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.mathutils.dlog import DiscreteLogError, DlogSolver
+from repro.mathutils.kangaroo import KangarooSolver
+
+
+class TestKangaroo:
+    def test_solves_zero_and_edges(self, group):
+        solver = KangarooSolver(group, bound=500)
+        for m in (0, 1, -1, 500, -500):
+            assert solver.solve(group.gexp(m)) == m
+
+    def test_solves_interior_values(self, group):
+        solver = KangarooSolver(group, bound=10_000)
+        for m in (17, -4242, 9999, -1, 5000):
+            assert solver.solve(group.gexp(m)) == m
+
+    def test_out_of_bound_raises(self, group):
+        solver = KangarooSolver(group, bound=100, max_retries=4)
+        with pytest.raises(DiscreteLogError):
+            solver.solve(group.gexp(100_000))
+
+    def test_rejects_negative_bound(self, group):
+        with pytest.raises(ValueError):
+            KangarooSolver(group, bound=-5)
+
+    def test_rejects_window_wider_than_group(self, group):
+        with pytest.raises(ValueError):
+            KangarooSolver(group, bound=group.q)
+
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(st.integers(min_value=-2000, max_value=2000))
+    def test_property_agrees_with_bsgs(self, group, m):
+        kangaroo = KangarooSolver(group, bound=2000)
+        bsgs = DlogSolver(group, bound=2000)
+        h = group.gexp(m)
+        assert kangaroo.solve(h) == bsgs.solve(h) == m
+
+    def test_result_always_verified(self, group):
+        """solve() cross-checks g^result == h, so a returned value is
+        always correct even if a walk were to alias."""
+        solver = KangarooSolver(group, bound=300)
+        for m in range(-300, 301, 37):
+            result = solver.solve(group.gexp(m))
+            assert group.gexp(result) == group.gexp(m)

@@ -1,0 +1,64 @@
+"""Secure training at the paper's actual LeNet-5 geometry (28x28, C1=5x5).
+
+The scaled experiments use a small LeNet variant for speed; this test
+runs the *real* first-layer geometry of Section III-E -- 28x28 images,
+5x5 filters, padding 2, six filters, 784 windows per image -- through a
+full secure iteration, to show nothing about the framework depends on
+the reduced geometry.  Kept to a 2-image batch so it stays test-sized.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.config import CryptoNNConfig
+from repro.core.cryptocnn import CryptoCNNTrainer
+from repro.core.entities import Client, TrustedAuthority
+from repro.data.preprocess import one_hot
+from repro.data.synth_digits import load_synth_digits
+from repro.nn.lenet import build_lenet5
+from repro.nn.losses import SoftmaxCrossEntropyLoss
+from repro.nn.optimizers import SGD
+
+
+@pytest.fixture(scope="module")
+def lenet5_run():
+    train, _ = load_synth_digits(n_train=2, n_test=1, canvas=28, seed=9)
+    authority = TrustedAuthority(CryptoNNConfig(), rng=random.Random(0))
+    client = Client(authority)
+    enc = client.encrypt_images(train.x, train.y, num_classes=10,
+                                filter_size=5, stride=1, padding=2)
+    model = build_lenet5(np.random.default_rng(0))
+    twin = build_lenet5(np.random.default_rng(1))
+    twin.set_weights(model.get_weights())
+    trainer = CryptoCNNTrainer(model, authority)
+    history = trainer.fit(enc, SGD(0.1), epochs=1, batch_size=2,
+                          rng=np.random.default_rng(2), shuffle=False)
+    plain_history = twin.fit(train.x, one_hot(train.y, 10),
+                             SoftmaxCrossEntropyLoss(), SGD(0.1), epochs=1,
+                             batch_size=2, rng=np.random.default_rng(2),
+                             shuffle=False)
+    return trainer, history, plain_history
+
+
+def test_secure_lenet5_iteration_matches_plaintext(lenet5_run):
+    trainer, history, plain_history = lenet5_run
+    assert history.batch_loss[0] == pytest.approx(plain_history.batch_loss[0],
+                                                  abs=0.05)
+
+
+def test_secure_lenet5_decrypt_counts(lenet5_run):
+    trainer, _, _ = lenet5_run
+    snap = trainer.counters.snapshot()
+    # C1: 28x28 output positions x 6 filters x 2 images, + 2 loss decrypts
+    assert snap["feip_decrypts"] == 28 * 28 * 6 * 2 + 2
+    # gradient: 10-class P-Y per sample + 784 pixels per image
+    assert snap["febo_decrypts"] == 2 * 10 + 2 * 784
+
+
+def test_secure_lenet5_geometry_is_papers(lenet5_run):
+    trainer, _, _ = lenet5_run
+    conv = trainer.secure_input.conv
+    assert (conv.filter_size, conv.stride, conv.padding) == (5, 1, 2)
+    assert conv.out_channels == 6

@@ -1,0 +1,87 @@
+"""Tests for the simulated network channel."""
+
+import random
+
+import pytest
+
+from repro.core.config import CryptoNNConfig
+from repro.core.entities import TrustedAuthority
+from repro.core.network import (
+    ChannelError,
+    LatencyModel,
+    NetworkedAuthority,
+    SimulatedChannel,
+)
+
+
+class TestLatencyModel:
+    def test_base_only(self):
+        model = LatencyModel(base_s=0.5)
+        assert model.sample(random.Random(0), 1000) == 0.5
+
+    def test_jitter_bounded(self):
+        model = LatencyModel(base_s=0.1, jitter_s=0.2)
+        rng = random.Random(1)
+        for _ in range(50):
+            latency = model.sample(rng, 0)
+            assert 0.1 <= latency <= 0.3
+
+    def test_bandwidth_term(self):
+        model = LatencyModel(base_s=0.0, bandwidth_bytes_per_s=1000.0)
+        assert model.sample(random.Random(0), 500) == pytest.approx(0.5)
+
+
+class TestSimulatedChannel:
+    def test_reliable_delivery(self):
+        channel = SimulatedChannel(latency=LatencyModel(base_s=0.01),
+                                   rng=random.Random(0))
+        assert channel.send(100, lambda: "payload") == "payload"
+        assert channel.clock_s == pytest.approx(0.01)
+        assert channel.messages_sent == 1
+
+    def test_drops_then_retries(self):
+        channel = SimulatedChannel(drop_probability=0.5, max_retries=20,
+                                   rng=random.Random(3))
+        result = channel.send(10, lambda: 42)
+        assert result == 42
+        assert channel.messages_dropped >= 0
+        assert channel.messages_sent == channel.messages_dropped + 1
+
+    def test_total_loss_raises(self):
+        # deterministic worst case: everything drops
+        channel = SimulatedChannel(drop_probability=0.999, max_retries=2,
+                                   rng=random.Random(0))
+        with pytest.raises(ChannelError):
+            channel.send(10, lambda: None)
+
+    def test_invalid_drop_probability(self):
+        with pytest.raises(ValueError):
+            SimulatedChannel(drop_probability=1.0)
+
+    def test_round_trip_advances_clock_twice(self):
+        channel = SimulatedChannel(latency=LatencyModel(base_s=1.0),
+                                   rng=random.Random(0))
+        channel.round_trip(10, 10, lambda: None)
+        assert channel.clock_s == pytest.approx(2.0)
+
+
+class TestNetworkedAuthority:
+    def test_key_requests_cost_simulated_time(self):
+        authority = TrustedAuthority(CryptoNNConfig(), rng=random.Random(0))
+        channel = SimulatedChannel(latency=LatencyModel(base_s=0.05),
+                                   rng=random.Random(1))
+        networked = NetworkedAuthority(authority, channel)
+        keys = networked.derive_feip_keys([[1, 2, 3], [4, 5, 6]])
+        assert len(keys) == 2
+        assert networked.simulated_seconds == pytest.approx(0.1)
+
+    def test_febo_requests_also_costed(self):
+        authority = TrustedAuthority(CryptoNNConfig(), rng=random.Random(0))
+        bpk = authority.febo_public_key()
+        ct = authority.febo.encrypt(bpk, 5)
+        channel = SimulatedChannel(latency=LatencyModel(base_s=0.01),
+                                   rng=random.Random(1))
+        networked = NetworkedAuthority(authority, channel)
+        keys = networked.derive_febo_keys([(ct.cmt, "+", 3)])
+        assert len(keys) == 1
+        assert networked.simulated_seconds > 0

@@ -1,0 +1,111 @@
+"""Tests for Dense, Flatten and activation layers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.activations import relu, sigmoid, softmax, tanh, log_softmax
+from repro.nn.gradcheck import check_layer_input_grad, check_layer_param_grads
+from repro.nn.layers import Dense, Flatten, ReLU, Sigmoid, Tanh
+
+TOL = 1e-7
+
+
+class TestActivationFunctions:
+    def test_sigmoid_range_and_midpoint(self):
+        z = np.linspace(-10, 10, 101)
+        out = sigmoid(z)
+        assert (out > 0).all() and (out < 1).all()
+        assert sigmoid(np.array([0.0]))[0] == pytest.approx(0.5)
+
+    def test_sigmoid_extreme_values_stable(self):
+        out = sigmoid(np.array([-1000.0, 1000.0]))
+        assert out[0] == pytest.approx(0.0)
+        assert out[1] == pytest.approx(1.0)
+        assert np.isfinite(out).all()
+
+    def test_relu(self):
+        np.testing.assert_array_equal(
+            relu(np.array([-2.0, 0.0, 3.0])), [0.0, 0.0, 3.0]
+        )
+
+    def test_tanh_is_odd(self):
+        z = np.linspace(-3, 3, 7)
+        np.testing.assert_allclose(tanh(-z), -tanh(z))
+
+    def test_softmax_rows_sum_to_one(self):
+        z = np.random.default_rng(0).normal(size=(4, 5))
+        p = softmax(z, axis=1)
+        np.testing.assert_allclose(p.sum(axis=1), np.ones(4))
+        assert (p > 0).all()
+
+    def test_softmax_shift_invariance(self):
+        z = np.array([[1.0, 2.0, 3.0]])
+        np.testing.assert_allclose(softmax(z), softmax(z + 100))
+
+    def test_softmax_large_logits_stable(self):
+        p = softmax(np.array([[1000.0, 0.0]]))
+        assert np.isfinite(p).all()
+        assert p[0, 0] == pytest.approx(1.0)
+
+    def test_log_softmax_consistent(self):
+        z = np.random.default_rng(1).normal(size=(3, 4))
+        np.testing.assert_allclose(log_softmax(z), np.log(softmax(z)))
+
+
+class TestDense:
+    def test_forward_shape_and_value(self, np_rng):
+        layer = Dense(3, 2, rng=np_rng)
+        x = np_rng.normal(size=(5, 3))
+        out = layer.forward(x)
+        assert out.shape == (5, 2)
+        np.testing.assert_allclose(
+            out, x @ layer.params["W"] + layer.params["b"]
+        )
+
+    def test_rejects_wrong_input_shape(self, np_rng):
+        layer = Dense(3, 2, rng=np_rng)
+        with pytest.raises(ValueError):
+            layer.forward(np_rng.normal(size=(5, 4)))
+
+    def test_input_gradient(self, np_rng):
+        layer = Dense(4, 3, rng=np_rng)
+        assert check_layer_input_grad(layer, np_rng.normal(size=(6, 4))) < TOL
+
+    def test_param_gradients(self, np_rng):
+        layer = Dense(4, 3, rng=np_rng)
+        errors = check_layer_param_grads(layer, np_rng.normal(size=(6, 4)))
+        assert max(errors.values()) < TOL
+
+    def test_backward_before_forward_raises(self, np_rng):
+        layer = Dense(2, 2, rng=np_rng)
+        with pytest.raises(RuntimeError):
+            layer.backward(np.ones((1, 2)))
+
+    def test_parameter_count(self, np_rng):
+        assert Dense(4, 3, rng=np_rng).parameter_count() == 4 * 3 + 3
+
+
+class TestFlatten:
+    def test_roundtrip(self, np_rng):
+        layer = Flatten()
+        x = np_rng.normal(size=(2, 3, 4, 5))
+        out = layer.forward(x)
+        assert out.shape == (2, 60)
+        back = layer.backward(out)
+        np.testing.assert_array_equal(back, x)
+
+
+@pytest.mark.parametrize("layer_cls", [Sigmoid, ReLU, Tanh])
+class TestActivationLayers:
+    def test_gradient(self, layer_cls, np_rng):
+        layer = layer_cls()
+        # offset avoids ReLU's kink at exactly zero
+        x = np_rng.normal(size=(4, 5)) + 0.1
+        assert check_layer_input_grad(layer, x) < 1e-6
+
+    def test_stateless_params(self, layer_cls):
+        assert layer_cls().params == {}
+
+    def test_backward_before_forward_raises(self, layer_cls):
+        with pytest.raises(RuntimeError):
+            layer_cls().backward(np.ones((1, 1)))

@@ -1,0 +1,53 @@
+"""Tests for the LeNet builders."""
+
+import numpy as np
+import pytest
+
+from repro.nn.lenet import build_lenet5, build_lenet_small
+
+
+class TestLeNet5:
+    def test_output_shape(self, np_rng):
+        model = build_lenet5(np_rng)
+        out = model.forward(np_rng.normal(size=(2, 1, 28, 28)))
+        assert out.shape == (2, 10)
+
+    def test_parameter_count_matches_classic(self, np_rng):
+        """Classic LeNet-5 (conv weights + fc) parameter count."""
+        model = build_lenet5(np_rng)
+        # C1: 6*(25+... ) standard total is 61,706 for this layout
+        assert model.parameter_count() == 61706
+
+    def test_custom_class_count(self, np_rng):
+        model = build_lenet5(np_rng, num_classes=5)
+        out = model.forward(np_rng.normal(size=(1, 1, 28, 28)))
+        assert out.shape == (1, 5)
+
+
+class TestLeNetSmall:
+    @pytest.mark.parametrize("size", [8, 12, 16])
+    def test_output_shape_across_sizes(self, np_rng, size):
+        model = build_lenet_small(np_rng, image_size=size)
+        out = model.forward(np_rng.normal(size=(3, 1, size, size)))
+        assert out.shape == (3, 10)
+
+    @pytest.mark.parametrize("activation", ["relu", "sigmoid", "tanh"])
+    def test_activations(self, np_rng, activation):
+        model = build_lenet_small(np_rng, activation=activation)
+        out = model.forward(np_rng.normal(size=(1, 1, 8, 8)))
+        assert np.isfinite(out).all()
+
+    def test_unknown_activation(self, np_rng):
+        with pytest.raises(ValueError):
+            build_lenet_small(np_rng, activation="swish")
+
+    def test_first_layer_is_conv(self, np_rng):
+        from repro.nn.conv import Conv2D
+        model = build_lenet_small(np_rng)
+        assert isinstance(model.layers[0], Conv2D)
+
+    def test_backward_runs(self, np_rng):
+        model = build_lenet_small(np_rng)
+        out = model.forward(np_rng.normal(size=(2, 1, 8, 8)))
+        model.backward(np.ones_like(out))
+        assert model.layers[0].grads["W"].shape == model.layers[0].params["W"].shape

@@ -1,0 +1,75 @@
+"""Tests for SGD / momentum / Adam optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Dense
+from repro.nn.optimizers import SGD, Adam
+
+
+def make_layer_with_grads(np_rng):
+    layer = Dense(2, 2, rng=np_rng)
+    layer.grads = {"W": np.ones_like(layer.params["W"]),
+                   "b": np.ones_like(layer.params["b"])}
+    return layer
+
+
+class TestSGD:
+    def test_plain_step(self, np_rng):
+        layer = make_layer_with_grads(np_rng)
+        before = layer.params["W"].copy()
+        SGD(learning_rate=0.1).step([layer])
+        np.testing.assert_allclose(layer.params["W"], before - 0.1)
+
+    def test_momentum_accumulates(self, np_rng):
+        layer = make_layer_with_grads(np_rng)
+        before = layer.params["W"].copy()
+        opt = SGD(learning_rate=0.1, momentum=0.9)
+        opt.step([layer])
+        opt.step([layer])
+        # first step: -0.1; second step: -0.1 + 0.9 * (-0.1) = -0.19
+        np.testing.assert_allclose(layer.params["W"], before - 0.29)
+
+    def test_missing_gradient_raises(self, np_rng):
+        layer = Dense(2, 2, rng=np_rng)
+        with pytest.raises(RuntimeError):
+            SGD(0.1).step([layer])
+
+    def test_rejects_bad_hyperparameters(self):
+        with pytest.raises(ValueError):
+            SGD(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            SGD(learning_rate=0.1, momentum=1.0)
+
+    def test_minimizes_quadratic(self, np_rng):
+        """SGD on f(w) = ||w||^2 converges toward zero."""
+        layer = Dense(1, 4, rng=np_rng)
+        opt = SGD(0.2)
+        for _ in range(100):
+            layer.grads = {"W": 2 * layer.params["W"],
+                           "b": 2 * layer.params["b"]}
+            opt.step([layer])
+        assert np.abs(layer.params["W"]).max() < 1e-6
+
+
+class TestAdam:
+    def test_first_step_size_is_lr(self, np_rng):
+        layer = make_layer_with_grads(np_rng)
+        before = layer.params["W"].copy()
+        Adam(learning_rate=0.01).step([layer])
+        np.testing.assert_allclose(layer.params["W"], before - 0.01,
+                                   atol=1e-8)
+
+    def test_minimizes_quadratic(self, np_rng):
+        layer = Dense(1, 4, rng=np_rng)
+        opt = Adam(0.1)
+        for _ in range(300):
+            layer.grads = {"W": 2 * layer.params["W"],
+                           "b": 2 * layer.params["b"]}
+            opt.step([layer])
+        assert np.abs(layer.params["W"]).max() < 1e-4
+
+    def test_missing_gradient_raises(self, np_rng):
+        layer = Dense(2, 2, rng=np_rng)
+        with pytest.raises(RuntimeError):
+            Adam().step([layer])

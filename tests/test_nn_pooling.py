@@ -1,0 +1,60 @@
+"""Tests for pooling layers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.gradcheck import check_layer_input_grad
+from repro.nn.pooling import AvgPool2D, MaxPool2D
+
+
+class TestAvgPool:
+    def test_forward_values(self):
+        x = np.arange(16, dtype=np.float64).reshape(1, 1, 4, 4)
+        out = AvgPool2D(2).forward(x)
+        np.testing.assert_allclose(out[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_channels_independent(self, np_rng):
+        x = np_rng.normal(size=(2, 3, 4, 4))
+        out = AvgPool2D(2).forward(x)
+        for c in range(3):
+            single = AvgPool2D(2).forward(x[:, c:c + 1])
+            np.testing.assert_allclose(out[:, c], single[:, 0])
+
+    def test_gradient(self, np_rng):
+        assert check_layer_input_grad(
+            AvgPool2D(2), np_rng.normal(size=(2, 2, 4, 4))
+        ) < 1e-7
+
+    def test_backward_distributes_evenly(self):
+        layer = AvgPool2D(2)
+        x = np.zeros((1, 1, 4, 4))
+        layer.forward(x)
+        grad = layer.backward(np.ones((1, 1, 2, 2)))
+        np.testing.assert_allclose(grad, np.full((1, 1, 4, 4), 0.25))
+
+    def test_custom_stride(self, np_rng):
+        out = AvgPool2D(2, stride=1).forward(np_rng.normal(size=(1, 1, 4, 4)))
+        assert out.shape == (1, 1, 3, 3)
+
+
+class TestMaxPool:
+    def test_forward_values(self):
+        x = np.arange(16, dtype=np.float64).reshape(1, 1, 4, 4)
+        out = MaxPool2D(2).forward(x)
+        np.testing.assert_allclose(out[0, 0], [[5, 7], [13, 15]])
+
+    def test_gradient_routes_to_argmax(self):
+        layer = MaxPool2D(2)
+        x = np.array([[[[1.0, 2.0], [3.0, 4.0]]]])
+        layer.forward(x)
+        grad = layer.backward(np.array([[[[10.0]]]]))
+        np.testing.assert_allclose(grad, [[[[0, 0], [0, 10.0]]]])
+
+    def test_gradient_numeric(self, np_rng):
+        # distinct values so argmax is stable under perturbation
+        x = np_rng.permutation(32).astype(np.float64).reshape(2, 1, 4, 4)
+        assert check_layer_input_grad(MaxPool2D(2), x) < 1e-7
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            MaxPool2D(2).backward(np.ones((1, 1, 1, 1)))

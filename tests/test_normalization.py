@@ -1,0 +1,91 @@
+"""Tests for BatchNorm1D."""
+
+import numpy as np
+import pytest
+
+from repro.nn.gradcheck import numeric_grad
+from repro.nn.layers import Dense, ReLU
+from repro.nn.model import Sequential
+from repro.nn.normalization import BatchNorm1D
+from repro.nn.optimizers import SGD
+from repro.nn.losses import SoftmaxCrossEntropyLoss
+from repro.data.preprocess import one_hot
+
+
+class TestForward:
+    def test_train_output_standardized(self, np_rng):
+        layer = BatchNorm1D(4)
+        x = np_rng.normal(loc=5.0, scale=3.0, size=(200, 4))
+        out = layer.forward(x, training=True)
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-7)
+        np.testing.assert_allclose(out.std(axis=0), 1.0, atol=1e-2)
+
+    def test_gamma_beta_applied(self, np_rng):
+        layer = BatchNorm1D(3)
+        layer.params["gamma"][...] = 2.0
+        layer.params["beta"][...] = 1.0
+        x = np_rng.normal(size=(50, 3))
+        out = layer.forward(x, training=True)
+        np.testing.assert_allclose(out.mean(axis=0), 1.0, atol=1e-7)
+
+    def test_eval_uses_running_stats(self, np_rng):
+        layer = BatchNorm1D(2, momentum=0.0)  # running stats = last batch
+        x = np_rng.normal(loc=10.0, size=(100, 2))
+        layer.forward(x, training=True)
+        out = layer.forward(x, training=False)
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-2)
+
+    def test_shape_check(self, np_rng):
+        with pytest.raises(ValueError):
+            BatchNorm1D(3).forward(np_rng.normal(size=(4, 5)))
+
+    def test_invalid_momentum(self):
+        with pytest.raises(ValueError):
+            BatchNorm1D(2, momentum=1.0)
+
+
+class TestBackward:
+    def test_gradient_matches_numeric(self, np_rng):
+        layer = BatchNorm1D(3)
+        x = np_rng.normal(size=(6, 3))
+        # randomize gamma/beta so the test is not at the identity point
+        layer.params["gamma"][...] = np_rng.uniform(0.5, 1.5, size=3)
+        layer.params["beta"][...] = np_rng.normal(size=3)
+        weight = np_rng.normal(size=(6, 3))  # non-uniform upstream grad
+
+        def objective():
+            return float((layer.forward(x, training=True) * weight).sum())
+
+        numeric = numeric_grad(objective, x)
+        layer.forward(x, training=True)
+        analytic = layer.backward(weight)
+        np.testing.assert_allclose(analytic, numeric, atol=1e-6)
+
+    def test_param_gradients_match_numeric(self, np_rng):
+        layer = BatchNorm1D(3)
+        x = np_rng.normal(size=(5, 3))
+        weight = np_rng.normal(size=(5, 3))
+        for name in ("gamma", "beta"):
+            def objective():
+                return float((layer.forward(x, training=True) * weight).sum())
+            numeric = numeric_grad(objective, layer.params[name])
+            layer.forward(x, training=True)
+            layer.backward(weight)
+            np.testing.assert_allclose(layer.grads[name], numeric, atol=1e-6)
+
+    def test_backward_before_forward(self):
+        with pytest.raises(RuntimeError):
+            BatchNorm1D(2).backward(np.ones((1, 2)))
+
+
+class TestInModel:
+    def test_trains_with_batchnorm(self, np_rng):
+        x = np_rng.normal(size=(300, 4)) * 10  # badly scaled inputs
+        labels = (x[:, 0] + x[:, 1] > 0).astype(int)
+        model = Sequential([
+            Dense(4, 8, rng=np_rng), BatchNorm1D(8), ReLU(),
+            Dense(8, 2, rng=np_rng),
+        ])
+        model.fit(x, one_hot(labels, 2), SoftmaxCrossEntropyLoss(), SGD(0.1),
+                  epochs=10, batch_size=32, rng=np_rng)
+        assert model.evaluate(x, one_hot(labels, 2)) > 0.9

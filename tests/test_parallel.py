@@ -1,0 +1,90 @@
+"""Tests for the process-parallel secure computation path."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.fe.feip import Feip
+from repro.matrix.parallel import (
+    default_workers,
+    secure_convolve_parallel,
+    secure_dot_parallel,
+    secure_elementwise_parallel,
+)
+from repro.matrix.secure_conv import SecureConvolution
+from repro.matrix.secure_matrix import (
+    SecureMatrixScheme,
+    matrix_bound_dot,
+    matrix_bound_elementwise,
+)
+
+
+def random_matrix(rng, rows, cols, lo=-15, hi=15):
+    return np.array(
+        [[rng.randrange(lo, hi + 1) for _ in range(cols)] for _ in range(rows)],
+        dtype=object,
+    )
+
+
+def test_default_workers_positive():
+    assert default_workers() >= 1
+
+
+class TestParallelMatchesSerial:
+    def test_dot(self, params, rng, solver_cache):
+        scheme = SecureMatrixScheme(params, rng=rng, solver_cache=solver_cache)
+        msk_ip, _ = scheme.setup(column_length=3)
+        x = random_matrix(rng, 3, 8)
+        y = random_matrix(rng, 4, 3)
+        enc = scheme.pre_process_encryption(x, with_febo=False)
+        keys = scheme.derive_dot_keys(msk_ip, y)
+        bound = matrix_bound_dot(15, 15, 3)
+        serial = scheme.secure_dot(enc, keys, bound)
+        parallel = secure_dot_parallel(params, scheme.feip_mpk, enc, keys,
+                                       bound, workers=2)
+        np.testing.assert_array_equal(parallel, serial)
+
+    def test_elementwise(self, params, rng, solver_cache):
+        scheme = SecureMatrixScheme(params, rng=rng, solver_cache=solver_cache)
+        _, msk_bo = scheme.setup(column_length=3)
+        x = random_matrix(rng, 3, 5)
+        y = random_matrix(rng, 3, 5)
+        enc = scheme.pre_process_encryption(x, with_feip=False)
+        keys = scheme.derive_elementwise_keys(msk_bo, "*", y, enc.commitments())
+        bound = matrix_bound_elementwise("*", 15, 15)
+        serial = scheme.secure_elementwise(enc, keys, bound)
+        parallel = secure_elementwise_parallel(params, scheme.febo_mpk, enc,
+                                               keys, bound, workers=2)
+        np.testing.assert_array_equal(parallel, serial)
+
+    def test_convolution(self, params, rng, solver_cache):
+        feip = Feip(params, rng=rng, solver_cache=solver_cache)
+        conv = SecureConvolution(feip)
+        msk = conv.setup(window_length=4)
+        img = np.array([[rng.randrange(0, 8) for _ in range(4)]
+                        for _ in range(4)], dtype=object)
+        kernels = [np.array([[rng.randrange(-2, 3) for _ in range(2)]
+                             for _ in range(2)], dtype=object)
+                   for _ in range(2)]
+        enc = conv.pre_process_encryption(img, 2, 2, 0)
+        keys = conv.derive_filter_bank_keys(msk, kernels)
+        bound = 4 * 8 * 2 + 1
+        serial = conv.secure_convolve_bank(enc, keys, bound)
+        parallel = secure_convolve_parallel(
+            params, conv.mpk, enc.windows, enc.out_shape, keys, bound,
+            workers=2,
+        )
+        np.testing.assert_array_equal(parallel, serial)
+
+    def test_single_worker_works(self, params, rng, solver_cache):
+        scheme = SecureMatrixScheme(params, rng=rng, solver_cache=solver_cache)
+        msk_ip, _ = scheme.setup(column_length=2)
+        x = random_matrix(rng, 2, 3)
+        y = random_matrix(rng, 2, 2)
+        enc = scheme.pre_process_encryption(x, with_febo=False)
+        keys = scheme.derive_dot_keys(msk_ip, y)
+        bound = matrix_bound_dot(15, 15, 2)
+        out = secure_dot_parallel(params, scheme.feip_mpk, enc, keys, bound,
+                                  workers=1)
+        np.testing.assert_array_equal(out, y @ x)

@@ -1,0 +1,62 @@
+"""Tests for the process-parallel secure feed-forward in CryptoCNN."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.config import CryptoNNConfig
+from repro.core.cryptocnn import CryptoCNNTrainer
+from repro.core.entities import Client, TrustedAuthority
+from repro.data.synth_digits import load_synth_digits
+from repro.nn.lenet import build_lenet_small
+from repro.nn.optimizers import SGD
+
+
+@pytest.fixture(scope="module")
+def digits():
+    train, _ = load_synth_digits(n_train=12, n_test=4, canvas=8, seed=6)
+    return train
+
+
+def build_setup(workers):
+    config = CryptoNNConfig(workers=workers)
+    authority = TrustedAuthority(config, rng=random.Random(0))
+    return authority, Client(authority)
+
+
+class TestParallelForward:
+    def test_parallel_matches_serial_forward(self, digits):
+        auth_serial, client_serial = build_setup(workers=None)
+        auth_parallel, client_parallel = build_setup(workers=2)
+        # same authority RNG seed -> same keys; same client encryption RNG
+        enc_s = client_serial.encrypt_images(digits.x, digits.y, 10, 3, 1, 1)
+        enc_p = client_parallel.encrypt_images(digits.x, digits.y, 10, 3, 1, 1)
+        model_s = build_lenet_small(np.random.default_rng(0), image_size=8)
+        model_p = build_lenet_small(np.random.default_rng(0), image_size=8)
+        trainer_s = CryptoCNNTrainer(model_s, auth_serial)
+        trainer_p = CryptoCNNTrainer(model_p, auth_parallel)
+        z_s = trainer_s.secure_input.forward(enc_s.images[:4], np.arange(4),
+                                             training=False)
+        z_p = trainer_p.secure_input.forward(enc_p.images[:4], np.arange(4),
+                                             training=False)
+        np.testing.assert_allclose(z_s, z_p, atol=1e-9)
+
+    def test_parallel_training_step_runs(self, digits):
+        authority, client = build_setup(workers=2)
+        enc = client.encrypt_images(digits.x, digits.y, 10, 3, 1, 1)
+        model = build_lenet_small(np.random.default_rng(1), image_size=8)
+        trainer = CryptoCNNTrainer(model, authority)
+        hist = trainer.fit(enc, SGD(0.3), epochs=1, batch_size=6,
+                           rng=np.random.default_rng(2))
+        assert len(hist.batch_loss) == 2
+        assert all(np.isfinite(l) for l in hist.batch_loss)
+
+    def test_counters_count_parallel_decrypts(self, digits):
+        authority, client = build_setup(workers=2)
+        enc = client.encrypt_images(digits.x[:3], digits.y[:3], 10, 3, 1, 1)
+        model = build_lenet_small(np.random.default_rng(1), image_size=8,
+                                  conv_channels=4)
+        trainer = CryptoCNNTrainer(model, authority)
+        trainer.secure_input.forward(enc.images, np.arange(3), training=False)
+        assert trainer.counters.feip_decrypts == 3 * 64 * 4

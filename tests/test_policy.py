@@ -1,0 +1,101 @@
+"""Tests for the authority key-release policy."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.config import CryptoNNConfig
+from repro.core.cryptonn import CryptoNNTrainer
+from repro.core.entities import Client, TrustedAuthority
+from repro.core.policy import KeyReleasePolicy, PolicyViolation
+from repro.nn.layers import Dense, ReLU
+from repro.nn.model import Sequential
+from repro.nn.optimizers import SGD
+
+
+class TestUnitVectorCheck:
+    def test_rejects_exact_unit_vector(self):
+        policy = KeyReleasePolicy(forbid_unit_vectors=True)
+        with pytest.raises(PolicyViolation, match="single coordinate"):
+            policy.check_feip_request([[0, 0, 5, 0]])
+
+    def test_rejects_near_unit_vector(self):
+        policy = KeyReleasePolicy(forbid_unit_vectors=True,
+                                  unit_mass_threshold=0.9)
+        with pytest.raises(PolicyViolation):
+            policy.check_feip_request([[100, 1, 1, 1]])
+
+    def test_accepts_balanced_vector(self):
+        policy = KeyReleasePolicy(forbid_unit_vectors=True)
+        policy.check_feip_request([[3, -4, 5, 2]])
+        assert len(policy.grants()) == 1
+
+    def test_length_one_vectors_always_pass(self):
+        # a length-1 key is the functionality, not an attack
+        policy = KeyReleasePolicy(forbid_unit_vectors=True)
+        policy.check_feip_request([[7]])
+
+    def test_zero_vector_passes_mass_check(self):
+        policy = KeyReleasePolicy(forbid_unit_vectors=True)
+        policy.check_feip_request([[0, 0, 0]])
+
+
+class TestVectorBudget:
+    def test_budget_enforced(self):
+        policy = KeyReleasePolicy(max_distinct_vectors=2)
+        policy.check_feip_request([[1, 2], [3, 4]])
+        with pytest.raises(PolicyViolation, match="budget"):
+            policy.check_feip_request([[5, 6]])
+
+    def test_repeated_vectors_are_free(self):
+        policy = KeyReleasePolicy(max_distinct_vectors=1)
+        policy.check_feip_request([[1, 2]])
+        policy.check_feip_request([[1, 2]])  # same vector, no new budget
+
+    def test_budget_is_per_length(self):
+        policy = KeyReleasePolicy(max_distinct_vectors=1)
+        policy.check_feip_request([[1, 2]])
+        policy.check_feip_request([[1, 2, 3]])  # different eta, own budget
+
+
+class TestFeboOps:
+    def test_disallowed_op(self):
+        policy = KeyReleasePolicy(allowed_febo_ops=frozenset("+-"))
+        with pytest.raises(PolicyViolation):
+            policy.check_febo_request("*")
+        assert len(policy.refusals()) == 1
+
+    def test_allowed_op(self):
+        policy = KeyReleasePolicy()
+        policy.check_febo_request("+")
+        assert policy.grants()[-1].detail == "op '+'"
+
+
+class TestPolicyInAuthority:
+    def test_extraction_attempt_refused(self):
+        policy = KeyReleasePolicy(forbid_unit_vectors=True)
+        authority = TrustedAuthority(CryptoNNConfig(), rng=random.Random(0),
+                                     policy=policy)
+        with pytest.raises(PolicyViolation):
+            authority.derive_feip_keys([[0, 0, 1]])
+        assert authority.feip_keys_issued == 0
+
+    def test_normal_training_passes_policy(self):
+        """The default CryptoNN loop must not trip the unit-vector check:
+        Xavier-initialized weight columns are never unit-like."""
+        policy = KeyReleasePolicy(forbid_unit_vectors=True)
+        authority = TrustedAuthority(CryptoNNConfig(), rng=random.Random(0),
+                                     policy=policy)
+        client = Client(authority)
+        x = np.random.default_rng(0).uniform(-1, 1, size=(20, 4))
+        y = (x[:, 0] > 0).astype(int)
+        enc = client.encrypt_tabular(x, y, num_classes=2)
+        rng = np.random.default_rng(1)
+        model = Sequential([Dense(4, 6, rng=rng), ReLU(),
+                            Dense(6, 2, rng=rng)])
+        trainer = CryptoNNTrainer(model, authority)
+        trainer.fit(enc, SGD(0.3), epochs=1, batch_size=10,
+                    rng=np.random.default_rng(2))
+        assert not policy.refusals()
+        assert policy.grants()

@@ -1,0 +1,47 @@
+"""Tests for the traffic log."""
+
+import pytest
+
+from repro.core import protocol
+from repro.core.protocol import TrafficLog, TrafficRecord
+
+
+class TestTrafficLog:
+    def test_record_and_total(self):
+        log = TrafficLog()
+        log.record("server", "authority", "feip-key-request", 100)
+        log.record("authority", "server", "feip-key-response", 60)
+        assert log.total_bytes() == 160
+        assert log.total_bytes(sender="server") == 100
+        assert log.total_bytes(receiver="server") == 60
+        assert log.total_bytes(kind="feip-key-request") == 100
+
+    def test_rejects_negative_size(self):
+        with pytest.raises(ValueError):
+            TrafficLog().record("a", "b", "kind", -1)
+
+    def test_message_count(self):
+        log = TrafficLog()
+        for _ in range(3):
+            log.record("c", "s", protocol.KIND_ENCRYPTED_DATA, 10)
+        log.record("s", "a", protocol.KIND_FEIP_KEY_REQUEST, 5)
+        assert log.message_count() == 4
+        assert log.message_count(protocol.KIND_ENCRYPTED_DATA) == 3
+
+    def test_by_kind(self):
+        log = TrafficLog()
+        log.record("a", "b", "x", 1)
+        log.record("a", "b", "x", 2)
+        log.record("a", "b", "y", 5)
+        assert log.by_kind() == {"x": 3, "y": 5}
+
+    def test_clear(self):
+        log = TrafficLog()
+        log.record("a", "b", "x", 1)
+        log.clear()
+        assert log.total_bytes() == 0
+
+    def test_records_are_immutable(self):
+        record = TrafficRecord("a", "b", "x", 1)
+        with pytest.raises(AttributeError):
+            record.n_bytes = 2

@@ -1,0 +1,63 @@
+"""Tests for the Dropout layer."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Dense
+from repro.nn.model import Sequential
+from repro.nn.regularization import Dropout
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self, np_rng):
+        layer = Dropout(0.5, rng=np_rng)
+        x = np_rng.normal(size=(4, 6))
+        np.testing.assert_array_equal(layer.forward(x, training=False), x)
+
+    def test_rate_zero_is_identity(self, np_rng):
+        layer = Dropout(0.0, rng=np_rng)
+        x = np_rng.normal(size=(4, 6))
+        np.testing.assert_array_equal(layer.forward(x, training=True), x)
+
+    def test_training_mode_zeroes_and_scales(self):
+        layer = Dropout(0.5, rng=np.random.default_rng(0))
+        x = np.ones((100, 100))
+        out = layer.forward(x, training=True)
+        zero_fraction = (out == 0).mean()
+        assert 0.4 < zero_fraction < 0.6
+        kept = out[out != 0]
+        np.testing.assert_allclose(kept, 2.0)  # inverted scaling 1/(1-0.5)
+
+    def test_expectation_preserved(self):
+        layer = Dropout(0.3, rng=np.random.default_rng(1))
+        x = np.ones((200, 200))
+        out = layer.forward(x, training=True)
+        assert abs(out.mean() - 1.0) < 0.05
+
+    def test_backward_uses_same_mask(self):
+        layer = Dropout(0.5, rng=np.random.default_rng(2))
+        x = np.ones((10, 10))
+        out = layer.forward(x, training=True)
+        grad = layer.backward(np.ones_like(x))
+        np.testing.assert_array_equal(grad == 0, out == 0)
+
+    def test_backward_after_eval_passes_through(self, np_rng):
+        layer = Dropout(0.5, rng=np_rng)
+        layer.forward(np.ones((2, 2)), training=False)
+        grad = layer.backward(np.full((2, 2), 3.0))
+        np.testing.assert_array_equal(grad, np.full((2, 2), 3.0))
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+        with pytest.raises(ValueError):
+            Dropout(-0.1)
+
+    def test_composes_in_model(self, np_rng):
+        model = Sequential([Dense(4, 8, rng=np_rng),
+                            Dropout(0.2, rng=np_rng),
+                            Dense(8, 2, rng=np_rng)])
+        x = np_rng.normal(size=(6, 4))
+        out = model.forward(x, training=True)
+        model.backward(np.ones_like(out))
+        assert model.layers[0].grads["W"].shape == (4, 8)

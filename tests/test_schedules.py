@@ -1,0 +1,61 @@
+"""Tests for learning-rate schedules."""
+
+import pytest
+
+from repro.nn.optimizers import SGD
+from repro.nn.schedules import ConstantSchedule, CosineAnnealing, StepDecay
+
+
+class TestConstant:
+    def test_rate_fixed(self):
+        schedule = ConstantSchedule(0.1)
+        assert schedule.rate(0) == schedule.rate(100) == 0.1
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ConstantSchedule(0.0)
+
+
+class TestStepDecay:
+    def test_decay_points(self):
+        schedule = StepDecay(1.0, factor=0.5, step_size=10)
+        assert schedule.rate(0) == 1.0
+        assert schedule.rate(9) == 1.0
+        assert schedule.rate(10) == 0.5
+        assert schedule.rate(25) == 0.25
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StepDecay(1.0, factor=0.0)
+        with pytest.raises(ValueError):
+            StepDecay(1.0, step_size=0)
+
+
+class TestCosine:
+    def test_endpoints(self):
+        schedule = CosineAnnealing(1.0, total_epochs=10, minimum=0.1)
+        assert schedule.rate(0) == pytest.approx(1.0)
+        assert schedule.rate(10) == pytest.approx(0.1)
+
+    def test_monotone_decreasing(self):
+        schedule = CosineAnnealing(1.0, total_epochs=20)
+        rates = [schedule.rate(e) for e in range(21)]
+        assert all(a >= b for a, b in zip(rates, rates[1:]))
+
+    def test_clamps_past_horizon(self):
+        schedule = CosineAnnealing(1.0, total_epochs=5, minimum=0.2)
+        assert schedule.rate(50) == pytest.approx(0.2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CosineAnnealing(1.0, total_epochs=0)
+        with pytest.raises(ValueError):
+            CosineAnnealing(0.1, total_epochs=5, minimum=0.5)
+
+
+class TestApply:
+    def test_mutates_optimizer(self):
+        optimizer = SGD(1.0)
+        schedule = StepDecay(1.0, factor=0.1, step_size=1)
+        applied = schedule.apply(optimizer, epoch=2)
+        assert optimizer.learning_rate == applied == pytest.approx(0.01)

@@ -1,0 +1,125 @@
+"""Tests for the secure convolution scheme (Algorithm 3)."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.fe.errors import CiphertextError
+from repro.fe.feip import Feip
+from repro.matrix.secure_conv import (
+    SecureConvolution,
+    conv_output_shape,
+    extract_windows,
+)
+
+
+@pytest.fixture()
+def conv(params, rng, solver_cache):
+    return SecureConvolution(Feip(params, rng=rng, solver_cache=solver_cache))
+
+
+def plain_convolve(image, kernel, stride, padding):
+    """Reference convolution on object arrays."""
+    if image.ndim == 2:
+        image = image[np.newaxis]
+    c, h, w = image.shape
+    f = kernel.shape[-1]
+    out_h, out_w = conv_output_shape(h, w, f, stride, padding)
+    padded = np.zeros((c, h + 2 * padding, w + 2 * padding), dtype=object)
+    padded[:, padding:padding + h, padding:padding + w] = image
+    out = np.empty((out_h, out_w), dtype=object)
+    kernel3 = kernel if kernel.ndim == 3 else kernel[np.newaxis]
+    for i in range(out_h):
+        for j in range(out_w):
+            window = padded[:, i * stride:i * stride + f, j * stride:j * stride + f]
+            out[i, j] = int((window * kernel3).sum())
+    return out
+
+
+def rand_img(rng, c, h, w, lo=0, hi=9):
+    return np.array(
+        [[[rng.randrange(lo, hi + 1) for _ in range(w)] for _ in range(h)]
+         for _ in range(c)], dtype=object)
+
+
+class TestGeometry:
+    def test_paper_fig2_example(self):
+        """5x5 image, padding 1, filter 3, stride 2 -> 3x3 output."""
+        assert conv_output_shape(5, 5, 3, 2, 1) == (3, 3)
+
+    def test_filter_too_big_raises(self):
+        with pytest.raises(ValueError):
+            conv_output_shape(4, 4, 7, 1, 0)
+
+    def test_extract_windows_count_and_order(self):
+        image = np.arange(16, dtype=object).reshape(4, 4)
+        windows, out_shape = extract_windows(image, 2, 2, 0)
+        assert out_shape == (2, 2)
+        assert len(windows) == 4
+        assert windows[0] == [0, 1, 4, 5]       # top-left
+        assert windows[3] == [10, 11, 14, 15]   # bottom-right
+
+    def test_extract_windows_padding_zeros(self):
+        image = np.ones((2, 2), dtype=object)
+        windows, out_shape = extract_windows(image, 2, 2, 1)
+        assert out_shape == (2, 2)
+        assert windows[0] == [0, 0, 0, 1]  # corner window mostly padding
+
+    def test_extract_windows_multichannel(self):
+        image = np.stack([np.ones((3, 3), dtype=object),
+                          np.full((3, 3), 2, dtype=object)])
+        windows, _ = extract_windows(image, 3, 1, 0)
+        assert len(windows) == 1
+        assert windows[0] == [1] * 9 + [2] * 9  # channel-major flattening
+
+    def test_rejects_bad_ndim(self):
+        with pytest.raises(ValueError):
+            extract_windows(np.zeros((2, 2, 2, 2), dtype=object), 2, 1, 0)
+
+
+class TestSecureConvolve:
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (2, 1), (1, 1)])
+    def test_matches_reference(self, conv, rng, stride, padding):
+        img = rand_img(rng, 1, 5, 5)
+        kernel = np.array(
+            [[rng.randrange(-3, 4) for _ in range(3)] for _ in range(3)],
+            dtype=object)
+        msk = conv.setup(window_length=9)
+        enc = conv.pre_process_encryption(img, 3, stride, padding)
+        key = conv.derive_filter_key(msk, kernel)
+        out = conv.secure_convolve(enc, key, bound=9 * 9 * 3 + 1)
+        np.testing.assert_array_equal(out, plain_convolve(img, kernel, stride, padding))
+
+    def test_multichannel_filter_bank(self, conv, rng):
+        img = rand_img(rng, 2, 4, 4)
+        kernels = [
+            np.array([[[rng.randrange(-2, 3) for _ in range(3)]
+                       for _ in range(3)] for _ in range(2)], dtype=object)
+            for _ in range(3)
+        ]
+        msk = conv.setup(window_length=2 * 9)
+        enc = conv.pre_process_encryption(img, 3, 1, 0)
+        keys = conv.derive_filter_bank_keys(msk, kernels)
+        out = conv.secure_convolve_bank(enc, keys, bound=18 * 9 * 2 + 1)
+        assert out.shape == (3, 2, 2)
+        for f, kernel in enumerate(kernels):
+            np.testing.assert_array_equal(out[f], plain_convolve(img, kernel, 1, 0))
+
+    def test_setup_required(self, conv, rng):
+        with pytest.raises(CiphertextError):
+            conv.pre_process_encryption(rand_img(rng, 1, 4, 4), 3, 1, 0)
+
+    def test_window_length_mismatch(self, conv, rng):
+        conv.setup(window_length=4)  # 2x2 windows only
+        with pytest.raises(CiphertextError):
+            conv.pre_process_encryption(rand_img(rng, 1, 5, 5), 3, 1, 0)
+
+    def test_all_zero_image(self, conv):
+        img = np.zeros((1, 4, 4), dtype=object)
+        kernel = np.ones((2, 2), dtype=object)
+        msk = conv.setup(window_length=4)
+        enc = conv.pre_process_encryption(img, 2, 2, 0)
+        key = conv.derive_filter_key(msk, kernel)
+        out = conv.secure_convolve(enc, key, bound=100)
+        assert (out == 0).all()

@@ -1,0 +1,147 @@
+"""Tests for the secure matrix computation scheme (Algorithm 1)."""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.fe.errors import CiphertextError, UnsupportedOperationError
+from repro.matrix.secure_matrix import (
+    SecureMatrixScheme,
+    as_int_matrix,
+    matrix_bound_dot,
+    matrix_bound_elementwise,
+)
+
+
+@pytest.fixture()
+def scheme(params, rng, solver_cache):
+    s = SecureMatrixScheme(params, rng=rng, solver_cache=solver_cache)
+    return s
+
+
+def random_matrix(rng, rows, cols, lo=-20, hi=20):
+    return np.array(
+        [[rng.randrange(lo, hi + 1) for _ in range(cols)] for _ in range(rows)],
+        dtype=object,
+    )
+
+
+class TestHelpers:
+    def test_as_int_matrix_normalizes(self):
+        out = as_int_matrix([[1.0, 2], [3, np.int64(4)]])
+        assert out.dtype == object
+        assert all(isinstance(v, int) for v in out.ravel())
+
+    def test_as_int_matrix_rejects_vector(self):
+        with pytest.raises(ValueError):
+            as_int_matrix([1, 2, 3])
+
+    def test_bounds(self):
+        assert matrix_bound_dot(10, 20, 5) == 1001
+        assert matrix_bound_elementwise("+", 10, 20) == 31
+        assert matrix_bound_elementwise("*", 10, 20) == 201
+        assert matrix_bound_elementwise("/", 10, 20) == 11
+
+
+class TestDotProduct:
+    def test_matches_numpy(self, scheme, rng):
+        msk_ip, _ = scheme.setup(column_length=4)
+        x = random_matrix(rng, 4, 6)
+        y = random_matrix(rng, 3, 4)
+        enc = scheme.pre_process_encryption(x, with_febo=False)
+        keys = scheme.derive_dot_keys(msk_ip, y)
+        z = scheme.secure_dot(enc, keys, matrix_bound_dot(20, 20, 4))
+        np.testing.assert_array_equal(z, y @ x)
+
+    def test_single_row_and_column(self, scheme, rng):
+        msk_ip, _ = scheme.setup(column_length=3)
+        x = random_matrix(rng, 3, 1)
+        y = random_matrix(rng, 1, 3)
+        enc = scheme.pre_process_encryption(x, with_febo=False)
+        keys = scheme.derive_dot_keys(msk_ip, y)
+        z = scheme.secure_dot(enc, keys, matrix_bound_dot(20, 20, 3))
+        assert z.shape == (1, 1)
+        assert z[0, 0] == (y @ x)[0, 0]
+
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(rows=st.integers(2, 4), inner=st.integers(1, 4),
+           cols=st.integers(1, 4), seed=st.integers(0, 1000))
+    def test_property_random_shapes(self, params, solver_cache,
+                                    rows, inner, cols, seed):
+        rng = random.Random(seed)
+        scheme = SecureMatrixScheme(params, rng=rng, solver_cache=solver_cache)
+        msk_ip, _ = scheme.setup(column_length=inner)
+        x = random_matrix(rng, inner, cols, -9, 9)
+        y = random_matrix(rng, rows, inner, -9, 9)
+        enc = scheme.pre_process_encryption(x, with_febo=False)
+        keys = scheme.derive_dot_keys(msk_ip, y)
+        z = scheme.secure_dot(enc, keys, matrix_bound_dot(9, 9, inner))
+        np.testing.assert_array_equal(z, y @ x)
+
+
+class TestElementwise:
+    @pytest.mark.parametrize("op,func", [
+        ("+", lambda x, y: x + y),
+        ("-", lambda x, y: x - y),
+        ("*", lambda x, y: x * y),
+    ])
+    def test_matches_numpy(self, scheme, rng, op, func):
+        _, msk_bo = scheme.setup(column_length=3)
+        x = random_matrix(rng, 3, 4)
+        y = random_matrix(rng, 3, 4)
+        enc = scheme.pre_process_encryption(x, with_feip=False)
+        keys = scheme.derive_elementwise_keys(msk_bo, op, y, enc.commitments())
+        z = scheme.secure_elementwise(enc, keys,
+                                      matrix_bound_elementwise(op, 20, 20))
+        np.testing.assert_array_equal(z, func(x, y))
+
+    def test_exact_division(self, scheme, rng):
+        _, msk_bo = scheme.setup(column_length=2)
+        y = random_matrix(rng, 2, 2, 1, 9)
+        quotients = random_matrix(rng, 2, 2, -9, 9)
+        x = y * quotients
+        enc = scheme.pre_process_encryption(x, with_feip=False)
+        keys = scheme.derive_elementwise_keys(msk_bo, "/", y, enc.commitments())
+        z = scheme.secure_elementwise(enc, keys,
+                                      matrix_bound_elementwise("/", 100, 9))
+        np.testing.assert_array_equal(z, quotients)
+
+    def test_key_shape_mismatch(self, scheme, rng):
+        _, msk_bo = scheme.setup(column_length=2)
+        x = random_matrix(rng, 2, 2)
+        enc = scheme.pre_process_encryption(x, with_feip=False)
+        keys = scheme.derive_elementwise_keys(msk_bo, "+", x, enc.commitments())
+        with pytest.raises(UnsupportedOperationError):
+            scheme.secure_elementwise(enc, [keys[0]], 100)
+
+
+class TestEncryptedMatrix:
+    def test_partial_encryption_guards(self, scheme, rng):
+        scheme.setup(column_length=2)
+        x = random_matrix(rng, 2, 2)
+        only_ip = scheme.pre_process_encryption(x, with_febo=False)
+        with pytest.raises(CiphertextError):
+            only_ip.require_febo()
+        only_bo = scheme.pre_process_encryption(x, with_feip=False)
+        with pytest.raises(CiphertextError):
+            only_bo.require_feip()
+
+    def test_commitments_shape(self, scheme, rng):
+        scheme.setup(column_length=3)
+        x = random_matrix(rng, 3, 5)
+        enc = scheme.pre_process_encryption(x)
+        cmts = enc.commitments()
+        assert len(cmts) == 3 and len(cmts[0]) == 5
+
+    def test_wrong_column_length_rejected(self, scheme, rng):
+        scheme.setup(column_length=3)
+        with pytest.raises(CiphertextError):
+            scheme.pre_process_encryption(random_matrix(rng, 4, 2))
+
+    def test_setup_required(self, params, rng, solver_cache):
+        scheme = SecureMatrixScheme(params, rng=rng, solver_cache=solver_cache)
+        with pytest.raises(CiphertextError):
+            scheme.pre_process_encryption(random_matrix(rng, 2, 2))

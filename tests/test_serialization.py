@@ -1,0 +1,86 @@
+"""Tests for wire serialization and size accounting."""
+
+import json
+import random
+
+import pytest
+
+from repro.core import serialization as ser
+from repro.fe.feip import Feip
+from repro.fe.febo import Febo
+from repro.mathutils.group import GroupParams
+
+
+@pytest.fixture()
+def feip_objects(params, rng):
+    feip = Feip(params, rng=rng)
+    mpk, msk = feip.setup(3)
+    ct = feip.encrypt(mpk, [1, -2, 3])
+    key = feip.key_derive(msk, [4, 5, 6])
+    return ct, key
+
+
+@pytest.fixture()
+def febo_objects(params, rng):
+    febo = Febo(params, rng=rng)
+    mpk, msk = febo.setup()
+    ct = febo.encrypt(mpk, 42)
+    key = febo.key_derive(msk, ct.cmt, "+", 7)
+    return ct, key
+
+
+class TestRoundtrips:
+    def test_feip_ciphertext(self, feip_objects):
+        ct, _ = feip_objects
+        restored = ser.feip_ciphertext_from_dict(ser.feip_ciphertext_to_dict(ct))
+        assert restored == ct
+
+    def test_feip_key(self, feip_objects):
+        _, key = feip_objects
+        restored = ser.feip_key_from_dict(ser.feip_key_to_dict(key))
+        assert restored == key
+
+    def test_febo_ciphertext(self, febo_objects):
+        ct, _ = febo_objects
+        restored = ser.febo_ciphertext_from_dict(ser.febo_ciphertext_to_dict(ct))
+        assert restored == ct
+
+    def test_febo_key(self, febo_objects):
+        _, key = febo_objects
+        restored = ser.febo_key_from_dict(ser.febo_key_to_dict(key))
+        assert restored == key
+
+    def test_json_canonical_and_parseable(self, feip_objects):
+        ct, _ = feip_objects
+        text = ser.to_json(ser.feip_ciphertext_to_dict(ct))
+        assert json.loads(text)["ct0"] == ct.ct0
+        assert " " not in text
+
+
+class TestWireSizes:
+    def test_element_sizes_match_bitlength(self, params):
+        assert ser.element_size_bytes(params) == (params.p.bit_length() + 7) // 8
+        assert ser.exponent_size_bytes(params) == (params.q.bit_length() + 7) // 8
+
+    def test_sizes_grow_with_group(self):
+        small = GroupParams.predefined(32)
+        large = GroupParams.predefined(256)
+        assert ser.element_size_bytes(large) > ser.element_size_bytes(small)
+
+    def test_feip_ciphertext_size(self, params, feip_objects):
+        ct, _ = feip_objects
+        expected = (1 + 3) * ser.element_size_bytes(params)
+        assert ser.feip_ciphertext_wire_size(ct, params) == expected
+
+    def test_feip_key_size_formula(self, params, feip_objects):
+        """Matches the paper's k x |sk| download: sk plus bound vector."""
+        _, key = feip_objects
+        size = ser.feip_key_wire_size(key, params, weight_bytes=8)
+        assert size == ser.exponent_size_bytes(params) + 3 * 8
+
+    def test_key_request_is_n_times_w(self, params):
+        assert ser.feip_key_request_wire_size(10, params, weight_bytes=8) == 80
+
+    def test_febo_sizes(self, params):
+        assert ser.febo_ciphertext_wire_size(params) == 2 * ser.element_size_bytes(params)
+        assert ser.febo_key_wire_size(params) > ser.element_size_bytes(params)
