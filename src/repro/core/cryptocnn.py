@@ -15,6 +15,7 @@ from repro.core.cryptonn import _SecureTrainerBase
 from repro.core.encdata import EncryptedImageDataset
 from repro.core.entities import TrustedAuthority
 from repro.core.secure_layers import SecureConvInput
+from repro.matrix.parallel import SecureComputePool
 from repro.nn.conv import Conv2D
 from repro.nn.model import Sequential
 
@@ -24,15 +25,17 @@ class CryptoCNNTrainer(_SecureTrainerBase):
 
     def __init__(self, model: Sequential, authority: TrustedAuthority,
                  config: CryptoNNConfig | None = None,
-                 loss: str = "cross_entropy"):
-        super().__init__(model, authority, config, loss)
+                 loss: str = "cross_entropy",
+                 pool: SecureComputePool | None = None):
+        super().__init__(model, authority, config, loss, pool)
         first = model.layers[0]
         if not isinstance(first, Conv2D):
             raise TypeError(
                 f"CryptoCNNTrainer needs a Conv2D first layer, got {first.name}"
             )
         self.secure_input = SecureConvInput(
-            first, authority, self.config, self.counters
+            first, authority, self.config, self.counters,
+            pool=self.compute_pool,
         )
 
     def _check_geometry(self, dataset: EncryptedImageDataset) -> None:

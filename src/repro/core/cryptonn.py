@@ -35,6 +35,7 @@ from repro.core.secure_layers import (
     SecureMSE,
     SecureSoftmaxCrossEntropy,
 )
+from repro.matrix.parallel import SecureComputePool, resolve_pool
 from repro.nn.activations import softmax
 from repro.nn.layers import Dense
 from repro.nn.metrics import accuracy
@@ -43,21 +44,32 @@ from repro.nn.optimizers import Optimizer
 
 
 class _SecureTrainerBase:
-    """Shared fit/evaluate loop for CryptoNN and CryptoCNN."""
+    """Shared fit/evaluate loop for CryptoNN and CryptoCNN.
+
+    The trainer owns one persistent compute pool for the whole run:
+    passed in explicitly (e.g. ``Server.compute_pool``), or resolved
+    from ``config.workers``, or None for fully serial execution.  All
+    secure layers route their decryption loops through it, so worker
+    processes and their dlog tables survive across batches and epochs.
+    """
 
     def __init__(self, model: Sequential, authority: TrustedAuthority,
                  config: CryptoNNConfig | None = None,
-                 loss: str = "cross_entropy"):
+                 loss: str = "cross_entropy",
+                 pool: SecureComputePool | None = None):
         self.model = model
         self.authority = authority
         self.config = config or authority.config
         self.counters = DecryptionCounters()
+        self.compute_pool = resolve_pool(pool, self.config.workers)
         if loss == "cross_entropy":
             self.secure_loss = SecureSoftmaxCrossEntropy(
-                authority, self.config, self.counters
+                authority, self.config, self.counters, pool=self.compute_pool
             )
         elif loss == "mse":
-            self.secure_loss = SecureMSE(authority, self.config, self.counters)
+            self.secure_loss = SecureMSE(authority, self.config,
+                                         self.counters,
+                                         pool=self.compute_pool)
         else:
             raise ValueError(f"unknown loss {loss!r}")
         self.loss_name = loss
@@ -169,15 +181,17 @@ class CryptoNNTrainer(_SecureTrainerBase):
 
     def __init__(self, model: Sequential, authority: TrustedAuthority,
                  config: CryptoNNConfig | None = None,
-                 loss: str = "cross_entropy"):
-        super().__init__(model, authority, config, loss)
+                 loss: str = "cross_entropy",
+                 pool: SecureComputePool | None = None):
+        super().__init__(model, authority, config, loss, pool)
         first = model.layers[0]
         if not isinstance(first, Dense):
             raise TypeError(
                 f"CryptoNNTrainer needs a Dense first layer, got {first.name}"
             )
         self.secure_input = SecureLinearInput(
-            first, authority, self.config, self.counters
+            first, authority, self.config, self.counters,
+            pool=self.compute_pool,
         )
 
     def _secure_forward(self, dataset: EncryptedTabularDataset,

@@ -41,6 +41,7 @@ from repro.fe.keys import (
     FeipMasterKey,
     FeipPublicKey,
 )
+from repro.matrix.parallel import resolve_pool
 from repro.matrix.secure_conv import SecureConvolution, extract_windows
 from repro.mathutils.encoding import FixedPointCodec
 from repro.mathutils.group import GroupParams
@@ -297,15 +298,39 @@ class Server:
 
     The trainers do the actual work; this object groups the model, the
     authority handle and the operation counters for examples and benches.
+    It also holds the persistent compute pool for the run.  When the
+    worker count comes from ``config.workers`` (the default), this is
+    the *same* process-wide pool trainers resolve on their own, so a
+    trainer constructed without an explicit ``pool`` argument shares
+    these workers and :meth:`close` tears down what the run actually
+    used.  An explicit ``workers`` override that differs from
+    ``config.workers`` selects a different pool, which trainers only
+    use if handed ``pool=server.compute_pool``.  Closing is safe at any
+    time: a shared pool transparently restarts (paying worker spawn and
+    dlog-table warmup again) if something else still uses it.
     """
 
-    def __init__(self, authority: TrustedAuthority):
+    def __init__(self, authority: TrustedAuthority,
+                 workers: int | None = None):
         self.authority = authority
         self.config = authority.config
         self.trainer = None  # attached by the trainers
+        workers = workers if workers is not None else self.config.workers
+        self.compute_pool = resolve_pool(None, workers)
 
     def attach(self, trainer) -> None:
         self.trainer = trainer
+
+    def close(self) -> None:
+        """Shut down the compute pool (idempotent)."""
+        if self.compute_pool is not None:
+            self.compute_pool.close()
+
+    def __enter__(self) -> "Server":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     @property
     def counters(self):

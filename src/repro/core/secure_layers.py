@@ -44,16 +44,24 @@ from repro.core.entities import TrustedAuthority
 from repro.nn.activations import log_softmax, softmax
 from repro.nn.conv import Conv2D, conv_out_dims, im2col
 from repro.nn.layers import Dense
+from repro.matrix.parallel import SecureComputePool, resolve_pool
 from repro.mathutils.dlog import GLOBAL_SOLVER_CACHE, SolverCache
 from repro.mathutils.encoding import FixedPointCodec
 
 
 class _SecureBase:
-    """Shared plumbing: codec, solver cache, counters, authority handle."""
+    """Shared plumbing: codec, solver cache, counters, authority handle.
+
+    ``pool`` is the persistent compute pool shared by a training run;
+    when None and ``config.workers`` is set, the process-wide pool for
+    that worker count is used, so repeated batches never respawn worker
+    processes.
+    """
 
     def __init__(self, authority: TrustedAuthority, config: CryptoNNConfig,
                  counters: DecryptionCounters | None = None,
-                 solver_cache: SolverCache | None = None):
+                 solver_cache: SolverCache | None = None,
+                 pool: SecureComputePool | None = None):
         self.authority = authority
         self.config = config
         self.codec = FixedPointCodec(config.scale)
@@ -61,6 +69,7 @@ class _SecureBase:
         self._cache = solver_cache or GLOBAL_SOLVER_CACHE
         self._feip = authority.feip
         self._febo = authority.febo
+        self._pool = resolve_pool(pool, config.workers)
 
     def _solver(self, bound: int):
         return self._cache.get(self._feip.group, bound)
@@ -121,8 +130,9 @@ class SecureLinearInput(_FeatureReconstructor):
     def __init__(self, dense: Dense, authority: TrustedAuthority,
                  config: CryptoNNConfig,
                  counters: DecryptionCounters | None = None,
-                 solver_cache: SolverCache | None = None):
-        super().__init__(authority, config, counters, solver_cache)
+                 solver_cache: SolverCache | None = None,
+                 pool: SecureComputePool | None = None):
+        super().__init__(authority, config, counters, solver_cache, pool)
         self.dense = dense
         self._last_batch: Sequence[EncryptedSample] | None = None
         self._last_indices: Sequence[int] | None = None
@@ -146,13 +156,22 @@ class SecureLinearInput(_FeatureReconstructor):
         eta = self.dense.in_features
         mpk = self.authority.feip_public_key(eta)
         bound = self.config.dot_bound(eta)
-        solver = self._solver(bound)
-        z = np.empty((len(batch), len(keys)), dtype=np.float64)
-        for n, sample in enumerate(batch):
-            for i, key in enumerate(keys):
-                element = self._feip.decrypt_raw(mpk, sample.features_ip, key)
-                z[n, i] = self.codec.decode(solver.solve(element), power=2)
-                self.counters.feip_decrypts += 1
+        if self._pool is not None and batch:
+            # one pooled dispatch decrypts the whole (sample, unit) grid
+            flat = self._pool.secure_dot(
+                self.authority.params, mpk,
+                [sample.features_ip for sample in batch], keys, bound,
+            )
+            self.counters.feip_decrypts += len(batch) * len(keys)
+            z = self.codec.decode_array(flat.T, power=2)
+        else:
+            solver = self._solver(bound)
+            z = np.empty((len(batch), len(keys)), dtype=np.float64)
+            for n, sample in enumerate(batch):
+                for i, key in enumerate(keys):
+                    element = self._feip.decrypt_raw(mpk, sample.features_ip, key)
+                    z[n, i] = self.codec.decode(solver.solve(element), power=2)
+                    self.counters.feip_decrypts += 1
         z += self.dense.params["b"]
         if training:
             self._last_batch = batch
@@ -183,8 +202,9 @@ class SecureConvInput(_FeatureReconstructor):
     def __init__(self, conv: Conv2D, authority: TrustedAuthority,
                  config: CryptoNNConfig,
                  counters: DecryptionCounters | None = None,
-                 solver_cache: SolverCache | None = None):
-        super().__init__(authority, config, counters, solver_cache)
+                 solver_cache: SolverCache | None = None,
+                 pool: SecureComputePool | None = None):
+        super().__init__(authority, config, counters, solver_cache, pool)
         self.conv = conv
         self._last_batch: Sequence[EncryptedImage] | None = None
         self._last_indices: Sequence[int] | None = None
@@ -209,7 +229,7 @@ class SecureConvInput(_FeatureReconstructor):
                          * self.conv.filter_size * self.conv.filter_size)
         mpk = self.authority.feip_public_key(window_length)
         bound = self.config.dot_bound(window_length)
-        if self.config.workers and batch:
+        if self._pool is not None and batch:
             out = self._forward_parallel(batch, keys, mpk, bound)
         else:
             out = self._forward_serial(batch, keys, mpk, bound)
@@ -238,29 +258,21 @@ class SecureConvInput(_FeatureReconstructor):
         return np.stack(outputs)
 
     def _forward_parallel(self, batch, keys, mpk, bound) -> np.ndarray:
-        """Batch-wide process-parallel decryption (paper's 'P' curves).
+        """Batch-wide pooled decryption (paper's 'P' curves).
 
-        All windows of all images go through one process pool so the pool
-        startup is paid once per batch rather than per image.
+        All windows of all images go through the persistent worker pool,
+        so executor startup is paid once per training run rather than
+        per batch (let alone per image).
         """
-        from repro.matrix.parallel import secure_convolve_parallel
-
         out_h, out_w = batch[0].windows.out_shape
-        per_image = out_h * out_w
         all_windows = [w for image in batch for w in image.windows.windows]
-        flat = secure_convolve_parallel(
+        flat = self._pool.secure_convolve(
             self.authority.params, mpk, all_windows,
             (len(batch) * out_h, out_w), keys, bound,
-            workers=self.config.workers,
         )
         self.counters.feip_decrypts += len(all_windows) * len(keys)
-        out = np.empty((len(batch), len(keys), out_h, out_w), dtype=np.float64)
-        scale_sq = float(self.config.scale) ** 2
         flat_rows = flat.reshape(len(keys), len(batch), out_h, out_w)
-        for f in range(len(keys)):
-            for n in range(len(batch)):
-                out[n, f] = flat_rows[f, n].astype(np.float64) / scale_sq
-        return out
+        return self.codec.decode_array(flat_rows, power=2).transpose(1, 0, 2, 3)
 
     def backward(self, grad_out: np.ndarray) -> None:
         """Fill the wrapped conv layer's W/b gradients from dL/dZ."""
@@ -281,6 +293,44 @@ class SecureConvInput(_FeatureReconstructor):
         self.conv.grads["b"] = grad_flat.sum(axis=0)
 
 
+def _decrypt_label_subtractions(layer: _SecureBase, values: np.ndarray,
+                                labels: Sequence[EncryptedLabel]
+                                ) -> np.ndarray:
+    """Decrypt ``Y - values`` element-wise against encrypted one-hot labels.
+
+    Shared by both secure losses (cross-entropy gradient ``P - Y`` and
+    the MSE residuals).  Keys are derived in one batched request, and
+    the decrypt loop routes through the layer's persistent pool when it
+    has one.
+    """
+    n, num_classes = values.shape
+    bpk = layer.authority.febo_public_key()
+    bound = layer.config.label_sub_bound()
+    requests = [
+        (labels[i].onehot_bo[c].cmt, "-", layer.codec.encode(values[i, c]))
+        for i in range(n) for c in range(num_classes)
+    ]
+    keys = layer.authority.derive_febo_keys(requests)
+    layer.counters.febo_keys_requested += len(keys)
+    layer.counters.febo_decrypts += len(keys)
+    if layer._pool is not None and n:
+        tasks = [
+            (i, c, labels[i].onehot_bo[c], keys[i * num_classes + c])
+            for i in range(n) for c in range(num_classes)
+        ]
+        grid = layer._pool.secure_elementwise(
+            layer.authority.params, bpk, tasks, (n, num_classes), bound)
+        return layer.codec.decode_array(grid)
+    solver = layer._cache.get(layer._febo.group, bound)
+    out = np.empty((n, num_classes), dtype=np.float64)
+    for i in range(n):
+        for c in range(num_classes):
+            element = layer._febo.decrypt_raw(
+                bpk, keys[i * num_classes + c], labels[i].onehot_bo[c])
+            out[i, c] = layer.codec.decode(solver.solve(element))
+    return out
+
+
 class SecureSoftmaxCrossEntropy(_SecureBase):
     """Secure evaluation at the output layer (paper Section III-E2).
 
@@ -292,8 +342,9 @@ class SecureSoftmaxCrossEntropy(_SecureBase):
 
     def __init__(self, authority: TrustedAuthority, config: CryptoNNConfig,
                  counters: DecryptionCounters | None = None,
-                 solver_cache: SolverCache | None = None):
-        super().__init__(authority, config, counters, solver_cache)
+                 solver_cache: SolverCache | None = None,
+                 pool: SecureComputePool | None = None):
+        super().__init__(authority, config, counters, solver_cache, pool)
         self._probs: np.ndarray | None = None
         # log p is clamped so its fixed-point encoding stays within the
         # loss dlog bound (p ~ 0 would otherwise explode the search window)
@@ -326,24 +377,9 @@ class SecureSoftmaxCrossEntropy(_SecureBase):
         if self._probs is None:
             raise RuntimeError("backward called before forward")
         probs = self._probs
-        n, num_classes = probs.shape
-        bpk = self.authority.febo_public_key()
-        bound = self.config.label_sub_bound()
-        solver = self._cache.get(self._febo.group, bound)
-        grad = np.empty_like(probs)
-        for i, label in enumerate(labels):
-            requests = [
-                (label.onehot_bo[c].cmt, "-", self.codec.encode(probs[i, c]))
-                for c in range(num_classes)
-            ]
-            keys = self.authority.derive_febo_keys(requests)
-            self.counters.febo_keys_requested += len(keys)
-            for c, key in enumerate(keys):
-                element = self._febo.decrypt_raw(bpk, key, label.onehot_bo[c])
-                y_minus_p = self.codec.decode(solver.solve(element))
-                grad[i, c] = -y_minus_p
-                self.counters.febo_decrypts += 1
-        return grad / n
+        n = probs.shape[0]
+        y_minus_p = _decrypt_label_subtractions(self, probs, labels)
+        return -y_minus_p / n
 
     @property
     def probabilities(self) -> np.ndarray:
@@ -363,33 +399,18 @@ class SecureMSE(_SecureBase):
 
     def __init__(self, authority: TrustedAuthority, config: CryptoNNConfig,
                  counters: DecryptionCounters | None = None,
-                 solver_cache: SolverCache | None = None):
-        super().__init__(authority, config, counters, solver_cache)
+                 solver_cache: SolverCache | None = None,
+                 pool: SecureComputePool | None = None):
+        super().__init__(authority, config, counters, solver_cache, pool)
         self._residuals: np.ndarray | None = None
 
     def forward(self, predictions: np.ndarray,
                 labels: Sequence[EncryptedLabel]) -> float:
         if predictions.shape[0] != len(labels):
             raise ValueError("batch size mismatch")
-        n, num_classes = predictions.shape
-        bpk = self.authority.febo_public_key()
-        bound = self.config.label_sub_bound()
-        solver = self._cache.get(self._febo.group, bound)
-        residuals = np.empty_like(predictions)
-        for i, label in enumerate(labels):
-            requests = [
-                (label.onehot_bo[c].cmt, "-",
-                 self.codec.encode(predictions[i, c]))
-                for c in range(num_classes)
-            ]
-            keys = self.authority.derive_febo_keys(requests)
-            self.counters.febo_keys_requested += len(keys)
-            for c, key in enumerate(keys):
-                element = self._febo.decrypt_raw(bpk, key, label.onehot_bo[c])
-                y_minus_pred = self.codec.decode(solver.solve(element))
-                residuals[i, c] = -y_minus_pred  # yhat - y
-                self.counters.febo_decrypts += 1
-        self._residuals = residuals
+        n = predictions.shape[0]
+        residuals = -_decrypt_label_subtractions(self, predictions, labels)
+        self._residuals = residuals  # yhat - y
         return float(0.5 * np.sum(residuals ** 2) / n)
 
     def backward(self, labels: Sequence[EncryptedLabel]) -> np.ndarray:

@@ -79,8 +79,10 @@ class Febo:
         """Encrypt the signed integer ``x``."""
         group = self.group
         r = group.random_exponent()
+        # g and h are reused across every encryption under this key, so
+        # the full-width exponentiations go through fixed-base tables.
         cmt = group.gexp(r)
-        ct = group.mul(group.exp(mpk.h, r), group.gexp(int(x)))
+        ct = group.mul(group.exp_cached(mpk.h, r), group.gexp(int(x)))
         return FeboCiphertext(cmt=cmt, ct=ct)
 
     def key_derive(self, msk: FeboMasterKey, cmt: int, op: FeboOp | str,
@@ -130,5 +132,9 @@ class Febo:
         :class:`~repro.mathutils.dlog.DiscreteLogError` is raised.
         """
         element = self.decrypt_raw(mpk, skf, ciphertext)
-        solver = solver or self._solver_cache.get(self.group, bound)
+        solver = solver or self.solver_for(bound)
         return solver.solve(element)
+
+    def solver_for(self, bound: int) -> DlogSolver:
+        """Public accessor for the cached bounded-dlog solver."""
+        return self._solver_cache.get(self.group, bound)

@@ -66,9 +66,11 @@ class Feip:
             )
         group = self.group
         r = group.random_exponent()
+        # g and the h_i are reused across every encryption under this key,
+        # so all full-width exponentiations go through fixed-base tables.
         ct0 = group.gexp(r)
         ct = tuple(
-            group.mul(group.exp(hi, r), group.gexp(int(xi)))
+            group.mul(group.exp_cached(hi, r), group.gexp(int(xi)))
             for hi, xi in zip(mpk.h, x)
         )
         return FeipCiphertext(ct0=ct0, ct=ct)
@@ -81,11 +83,11 @@ class Feip:
                 f"ciphertext length {ciphertext.eta} != weight length {len(skf.y)}"
             )
         group = self.group
-        numerator = 1
-        for ct_i, y_i in zip(ciphertext.ct, skf.y):
-            numerator = group.mul(numerator, group.exp(ct_i, y_i))
-        denominator = group.exp(ciphertext.ct0, skf.sk)
-        return group.div(numerator, denominator)
+        # One simultaneous multi-exponentiation replaces the per-entry
+        # square-and-multiply loop; folding ct0^{-sk} in as a plain pow
+        # also avoids the former explicit modular inversion.
+        numerator = group.multiexp(ciphertext.ct, skf.y)
+        return group.mul(numerator, group.exp(ciphertext.ct0, -skf.sk))
 
     def decrypt(self, mpk: FeipPublicKey, ciphertext: FeipCiphertext,
                 skf: FeipFunctionKey, bound: int,
@@ -97,5 +99,9 @@ class Feip:
                 ``[-bound, bound]`` or the ciphertext/key are inconsistent.
         """
         element = self.decrypt_raw(mpk, ciphertext, skf)
-        solver = solver or self._solver_cache.get(self.group, bound)
+        solver = solver or self.solver_for(bound)
         return solver.solve(element)
+
+    def solver_for(self, bound: int) -> DlogSolver:
+        """Public accessor for the cached bounded-dlog solver."""
+        return self._solver_cache.get(self.group, bound)

@@ -10,12 +10,16 @@ with pure-Python implementations:
   DDH assumption is believed to hold, with precomputed parameters.
 * :mod:`repro.mathutils.dlog` -- bounded discrete-logarithm recovery via
   baby-step giant-step, the decryption workhorse of both FE schemes.
+* :mod:`repro.mathutils.fastexp` -- fixed-base comb tables and
+  simultaneous multi-exponentiation for the modular-exponentiation hot
+  path (see ROADMAP.md "Performance architecture").
 * :mod:`repro.mathutils.encoding` -- the signed fixed-point codec used to
   map floats into group exponents (the paper keeps "two decimal places").
 """
 
 from repro.mathutils.dlog import DiscreteLogError, DlogSolver
 from repro.mathutils.encoding import FixedPointCodec
+from repro.mathutils.fastexp import FixedBaseExp, multiexp
 from repro.mathutils.group import GroupParams, SchnorrGroup
 from repro.mathutils.modarith import mod_inverse
 from repro.mathutils.primes import gen_prime, gen_safe_prime, is_probable_prime
@@ -23,9 +27,11 @@ from repro.mathutils.primes import gen_prime, gen_safe_prime, is_probable_prime
 __all__ = [
     "DiscreteLogError",
     "DlogSolver",
+    "FixedBaseExp",
     "FixedPointCodec",
     "GroupParams",
     "SchnorrGroup",
+    "multiexp",
     "gen_prime",
     "gen_safe_prime",
     "is_probable_prime",

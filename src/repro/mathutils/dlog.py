@@ -25,14 +25,23 @@ class DiscreteLogError(ValueError):
     """
 
 
+#: Default ceiling on the baby-step table.  The classic ``sqrt(window)``
+#: table balances build time against a *single* query, but the solver
+#: cache amortizes one build over thousands of queries, so a denser
+#: table (fewer giant steps per query, O(1) solve once the whole window
+#: fits) is the right trade until memory becomes the constraint.
+DENSE_TABLE_CAP = 1 << 15
+
+
 class DlogSolver:
     """Baby-step giant-step solver for ``g ** m = h (mod p)``, ``|m| <= bound``.
 
     The solver precomputes ``table_size`` baby steps ``g^j`` once and reuses
     them for every query; a query then costs at most
     ``ceil(window / table_size)`` giant-step multiplications plus hash
-    lookups.  ``table_size`` defaults to ``ceil(sqrt(2 * bound + 1))``,
-    the classic balanced choice.
+    lookups.  ``table_size`` defaults to the full window when that fits
+    under :data:`DENSE_TABLE_CAP` (making queries O(1)), else to the
+    larger of the cap and the classic ``ceil(sqrt(window))`` balance.
     """
 
     def __init__(self, group: SchnorrGroup, bound: int,
@@ -44,11 +53,16 @@ class DlogSolver:
         self.group = group
         self.bound = bound
         window = 2 * bound + 1
-        self.table_size = table_size or max(1, math.isqrt(window - 1) + 1)
+        if table_size is None:
+            classic = math.isqrt(window - 1) + 1
+            table_size = min(window, max(classic, DENSE_TABLE_CAP))
+        self.table_size = max(1, table_size)
         self._baby_steps = self._build_table()
         # giant step multiplies by g^{-table_size}
         self._giant_step = group.exp(group.g, -self.table_size)
         self._max_giant_steps = (window + self.table_size - 1) // self.table_size
+        # window-shift element g^bound, reused by every solve() query
+        self._shift = group.gexp(self.bound)
 
     def _build_table(self) -> dict[int, int]:
         table: dict[int, int] = {}
@@ -66,7 +80,7 @@ class DlogSolver:
             DiscreteLogError: when no exponent in ``[-bound, bound]`` works.
         """
         # Shift the window to [0, 2*bound]: search m' with g^{m'} = h * g^{bound}.
-        gamma = self.group.mul(h, self.group.gexp(self.bound))
+        gamma = self.group.mul(h, self._shift)
         p = self.group.p
         for i in range(self._max_giant_steps + 1):
             j = self._baby_steps.get(gamma)

@@ -1,0 +1,209 @@
+"""Fast modular exponentiation for the CryptoNN hot path.
+
+Every expensive step of both FE schemes is a modular exponentiation:
+``g^r`` / ``h_i^r`` during encryption, ``prod_i ct_i^{y_i}`` during
+decryption, ``g^{s_i}`` during setup.  Two classical structures exploit
+the reuse patterns of those exponentiations:
+
+* :class:`FixedBaseExp` -- a fixed-base windowed table ("comb") for a
+  base that is exponentiated thousands of times (``g``, the public
+  ``h_i``).  After a one-time precomputation of ``ceil(bits/w) * 2^w``
+  group elements, each exponentiation costs at most ``ceil(bits/w)``
+  modular multiplications instead of a full square-and-multiply chain.
+* :func:`multiexp` -- simultaneous multi-exponentiation (interleaved
+  fixed windows, a generalization of Shamir's trick) for products
+  ``prod_i b_i^{e_i}`` over *fresh* bases, sharing one squaring chain
+  across all terms.  Signed exponents are handled by splitting the
+  product by sign and paying a single modular inversion, which keeps
+  small negative exponents small instead of reducing them to full-width
+  residues mod the group order.
+
+Both are pure Python over ``int``; they beat CPython's C ``pow`` only
+because they do asymptotically less work, so the window parameters are
+chosen from measured crossover points (see
+``benchmarks/bench_ablation_fastexp.py``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.mathutils.modarith import mod_inverse
+
+#: Exponent bit-width at or below which a plain ``pow`` loop beats the
+#: interleaved multi-exponentiation (C pow on a tiny exponent costs less
+#: than the Python-level bookkeeping of a shared window walk).
+NAIVE_MULTIEXP_BITS = 16
+
+
+def _comb_window(bits: int) -> int:
+    """Default comb window width for an exponent of ``bits`` bits.
+
+    Wider windows cost exponentially more precomputation but only
+    linearly fewer multiplications per call; these break-evens were
+    measured on 256-bit operands.
+    """
+    if bits >= 192:
+        return 8
+    if bits >= 96:
+        return 7
+    return 5
+
+
+class FixedBaseExp:
+    """Precomputed fixed-base exponentiation ``base ** e mod modulus``.
+
+    The table stores ``base ** (d * 2^(i*w))`` for every window index
+    ``i`` and digit ``d``; an exponentiation is then one table lookup
+    plus one multiplication per non-zero window digit.  Exponents are
+    reduced into ``[0, order)`` first, so callers may pass negative or
+    oversized exponents exactly as with :meth:`SchnorrGroup.exp`.
+    """
+
+    def __init__(self, base: int, modulus: int, order: int,
+                 window: int | None = None):
+        if modulus <= 1:
+            raise ValueError("modulus must be > 1")
+        if order <= 0:
+            raise ValueError("order must be positive")
+        self.base = base % modulus
+        self.modulus = modulus
+        self.order = order
+        bits = order.bit_length()
+        self.window = _comb_window(bits) if window is None else window
+        if self.window < 1:
+            raise ValueError("window must be >= 1")
+        self._mask = (1 << self.window) - 1
+        self.num_windows = (bits + self.window - 1) // self.window
+        self._tables = self._build_tables()
+
+    def _build_tables(self) -> list[list[int]]:
+        modulus = self.modulus
+        per_window = 1 << self.window
+        tables: list[list[int]] = []
+        step = self.base
+        for _ in range(self.num_windows):
+            row = [1] * per_window
+            acc = 1
+            for d in range(1, per_window):
+                acc = acc * step % modulus
+                row[d] = acc
+            tables.append(row)
+            step = acc * step % modulus  # step ** 2^window
+        return tables
+
+    def pow(self, exponent: int) -> int:
+        """Return ``base ** exponent mod modulus`` (exponent in Z_order)."""
+        e = exponent % self.order
+        result = 1
+        modulus = self.modulus
+        window, mask = self.window, self._mask
+        i = 0
+        while e:
+            d = e & mask
+            if d:
+                result = result * self._tables[i][d] % modulus
+            e >>= window
+            i += 1
+        return result
+
+    __call__ = pow
+
+    @property
+    def table_entries(self) -> int:
+        """Total precomputed group elements (memory footprint proxy)."""
+        return self.num_windows * (1 << self.window)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"FixedBaseExp(bits={self.order.bit_length()}, "
+                f"window={self.window}, entries={self.table_entries})")
+
+
+def _multiexp_window(max_bits: int, n_bases: int) -> int:
+    """Pick the interleaved window width minimizing total multiplications.
+
+    Cost model per base: ``2^w - 1`` precomputed powers plus one
+    multiplication per non-zero window digit (``~ceil(max_bits/w)``),
+    against a shared chain of ``max_bits`` squarings that does not
+    depend on ``w``.
+    """
+    best_w, best_cost = 1, None
+    for w in range(1, 9):
+        cost = n_bases * ((1 << w) - 1 + (max_bits + w - 1) // w)
+        if best_cost is None or cost < best_cost:
+            best_w, best_cost = w, cost
+    return best_w
+
+
+def _multiexp_nonneg(pairs: list[tuple[int, int]], modulus: int) -> int:
+    """``prod b^e mod modulus`` for non-negative exponents (interleaved)."""
+    if not pairs:
+        return 1
+    max_bits = max(e.bit_length() for _, e in pairs)
+    if max_bits == 0:
+        return 1
+    if max_bits <= NAIVE_MULTIEXP_BITS and len(pairs) < 32:
+        result = 1
+        for base, e in pairs:
+            result = result * pow(base, e, modulus) % modulus
+        return result
+    w = _multiexp_window(max_bits, len(pairs))
+    mask = (1 << w) - 1
+    num_windows = (max_bits + w - 1) // w
+    # odd/even powers 1..2^w-1 of every base
+    tables = []
+    for base, _ in pairs:
+        row = [1] * (1 << w)
+        acc = 1
+        for d in range(1, 1 << w):
+            acc = acc * base % modulus
+            row[d] = acc
+        tables.append(row)
+    exponents = [e for _, e in pairs]
+    acc = 1
+    for k in range(num_windows - 1, -1, -1):
+        if k != num_windows - 1:
+            for _ in range(w):
+                acc = acc * acc % modulus
+        shift = k * w
+        for row, e in zip(tables, exponents):
+            d = (e >> shift) & mask
+            if d:
+                acc = acc * row[d] % modulus
+    return acc
+
+
+def multiexp(bases: Sequence[int], exponents: Sequence[int], modulus: int,
+             order: int | None = None) -> int:
+    """Return ``prod_i bases[i] ** exponents[i] mod modulus``.
+
+    Exponents may be negative or exceed ``order``; when ``order`` is
+    given they are first reduced to the *balanced* representation in
+    ``(-order/2, order/2]``, which is only valid when every base lies in
+    a subgroup whose order divides ``order`` (always true for Schnorr
+    subgroup elements).  The negative-exponent part is accumulated as a
+    positive product and folded in with one modular inversion, so small
+    signed exponents -- the typical encoded-weight case -- never pay
+    full-width exponentiations.
+    """
+    if len(bases) != len(exponents):
+        raise ValueError("bases and exponents must have equal length")
+    positive: list[tuple[int, int]] = []
+    negative: list[tuple[int, int]] = []
+    for base, e in zip(bases, exponents):
+        e = int(e)
+        if order is not None:
+            e %= order
+            if e > order // 2:
+                e -= order
+        if e == 0 or base == 1:
+            continue
+        if e > 0:
+            positive.append((base % modulus, e))
+        else:
+            negative.append((base % modulus, -e))
+    result = _multiexp_nonneg(positive, modulus)
+    if negative:
+        denom = _multiexp_nonneg(negative, modulus)
+        result = result * mod_inverse(denom, modulus) % modulus
+    return result

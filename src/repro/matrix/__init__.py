@@ -5,6 +5,7 @@ Algorithm 3 (secure convolution scheme) plus the process-parallel variant
 whose speedup the paper reports in Figures 3d, 4d and 5d.
 """
 
+from repro.matrix.parallel import SecureComputePool, get_compute_pool
 from repro.matrix.secure_conv import EncryptedWindows, SecureConvolution
 from repro.matrix.secure_matrix import (
     EncryptedMatrix,
@@ -16,8 +17,10 @@ from repro.matrix.secure_matrix import (
 __all__ = [
     "EncryptedMatrix",
     "EncryptedWindows",
+    "SecureComputePool",
     "SecureConvolution",
     "SecureMatrixScheme",
+    "get_compute_pool",
     "matrix_bound_dot",
     "matrix_bound_elementwise",
 ]

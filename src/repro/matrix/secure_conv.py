@@ -132,7 +132,7 @@ class SecureConvolution:
         if self.mpk is None:
             raise CiphertextError("no FEIP public key; run setup() first")
         out_h, out_w = encrypted.out_shape
-        solver = self.feip._solver_cache.get(self.feip.group, bound)
+        solver = self.feip.solver_for(bound)
         z = np.empty((out_h, out_w), dtype=object)
         for pos, window_ct in enumerate(encrypted.windows):
             element = self.feip.decrypt_raw(self.mpk, window_ct, key)

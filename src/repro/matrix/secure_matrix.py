@@ -47,8 +47,8 @@ def as_int_matrix(matrix: Sequence[Sequence[int]] | np.ndarray) -> np.ndarray:
     if arr.ndim != 2:
         raise ValueError(f"expected a 2-D matrix, got ndim={arr.ndim}")
     out = np.empty(arr.shape, dtype=object)
-    for idx, value in np.ndenumerate(arr):
-        out[idx] = int(value)
+    if arr.size:
+        out[...] = [[int(v) for v in row] for row in arr.tolist()]
     return out
 
 
@@ -112,18 +112,30 @@ class SecureMatrixScheme:
     The public keys ride along; master keys stay with the caller (the
     authority entity in :mod:`repro.core.entities`) and are passed
     explicitly to the key-derivation methods, mirroring the trust split.
+
+    When a persistent :class:`~repro.matrix.parallel.SecureComputePool`
+    is attached (constructor argument or :meth:`use_pool`), the
+    server-side computations route their decryption loops through it;
+    without one they run serially in-process.
     """
 
     def __init__(self, params: GroupParams,
                  feip_mpk: FeipPublicKey | None = None,
                  febo_mpk: FeboPublicKey | None = None,
                  rng: random.Random | None = None,
-                 solver_cache: SolverCache | None = None):
+                 solver_cache: SolverCache | None = None,
+                 pool=None):
         self.params = params
         self.feip = Feip(params, rng=rng, solver_cache=solver_cache)
         self.febo = Febo(params, rng=rng, solver_cache=solver_cache)
         self.feip_mpk = feip_mpk
         self.febo_mpk = febo_mpk
+        self.pool = pool
+
+    def use_pool(self, pool) -> "SecureMatrixScheme":
+        """Attach (or detach, with None) a persistent compute pool."""
+        self.pool = pool
+        return self
 
     # -- setup (authority) ---------------------------------------------------
     def setup(self, column_length: int) -> tuple[FeipMasterKey, FeboMasterKey]:
@@ -202,7 +214,10 @@ class SecureMatrixScheme:
         if self.feip_mpk is None:
             raise CiphertextError("no FEIP public key; run setup() first")
         columns = encrypted.require_feip()
-        solver = self.feip._solver_cache.get(self.feip.group, bound)
+        if self.pool is not None:
+            return self.pool.secure_dot(self.params, self.feip_mpk, columns,
+                                        keys, bound)
+        solver = self.feip.solver_for(bound)
         z = np.empty((len(keys), len(columns)), dtype=object)
         for i, key in enumerate(keys):
             for j, column_ct in enumerate(columns):
@@ -220,7 +235,15 @@ class SecureMatrixScheme:
         rows, cols = encrypted.shape
         if len(keys) != rows or any(len(r) != cols for r in keys):
             raise UnsupportedOperationError("key matrix shape mismatch")
-        solver = self.febo._solver_cache.get(self.febo.group, bound)
+        if self.pool is not None:
+            tasks = [
+                (i, j, elements[i][j], keys[i][j])
+                for i in range(rows)
+                for j in range(cols)
+            ]
+            return self.pool.secure_elementwise(self.params, self.febo_mpk,
+                                                tasks, (rows, cols), bound)
+        solver = self.febo.solver_for(bound)
         z = np.empty((rows, cols), dtype=object)
         for i in range(rows):
             for j in range(cols):

@@ -1,0 +1,207 @@
+"""Property tests for the fast-exponentiation subsystem.
+
+``FixedBaseExp`` and ``multiexp`` must agree with plain ``pow`` on every
+input class the crypto layers feed them: small, full-width, negative and
+``>= q`` exponents.  The pooled path additionally must be bit-identical
+to the sequential ``SecureMatrixScheme`` computations.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.fe.feip import Feip
+from repro.matrix.parallel import SecureComputePool
+from repro.matrix.secure_matrix import (
+    SecureMatrixScheme,
+    as_int_matrix,
+    matrix_bound_dot,
+    matrix_bound_elementwise,
+)
+from repro.mathutils.fastexp import FixedBaseExp, multiexp
+from repro.mathutils.group import (
+    FIXED_BASE_MIN_BITS,
+    GroupParams,
+    SchnorrGroup,
+)
+
+
+def reference_product(bases, exponents, p, q):
+    result = 1
+    for base, e in zip(bases, exponents):
+        result = result * pow(base, e % q, p) % p
+    return result
+
+
+class TestFixedBaseExp:
+    @pytest.mark.parametrize("bits", [32, 64, 128])
+    @pytest.mark.parametrize("window", [None, 1, 3, 8])
+    def test_agrees_with_pow(self, bits, window):
+        params = GroupParams.predefined(bits)
+        rng = random.Random(bits)
+        table = FixedBaseExp(params.g, params.p, params.q, window=window)
+        exponents = [0, 1, 2, params.q - 1, params.q, params.q + 1,
+                     -1, -params.q, 2 * params.q + 3]
+        exponents += [rng.randrange(-3 * params.q, 3 * params.q)
+                      for _ in range(40)]
+        for e in exponents:
+            assert table.pow(e) == pow(params.g, e % params.q, params.p), e
+
+    def test_arbitrary_base(self, params, group, rng):
+        base = group.random_element()
+        table = FixedBaseExp(base, params.p, params.q)
+        for _ in range(25):
+            e = rng.randrange(-2 * params.q, 2 * params.q)
+            assert table.pow(e) == pow(base, e % params.q, params.p)
+
+    def test_group_cache_reuses_tables(self, params):
+        group = SchnorrGroup(params)
+        base = group.random_element()
+        assert group.fixed_base(base) is group.fixed_base(base)
+
+    def test_exp_cached_budget_falls_back_to_pow(self, monkeypatch, rng):
+        """Past the memory budget new bases must compute correctly via
+        plain pow instead of building (or evicting) tables."""
+        import repro.mathutils.group as group_mod
+        p = GroupParams.predefined(64)
+        group = SchnorrGroup(p, rng=rng)
+        first, second = group.random_element(), group.random_element()
+        e = rng.randrange(p.q)
+        assert group.exp_cached(first, e) == pow(first, e, p.p)  # cached
+        tables_before = len(group._fixed_bases)
+        monkeypatch.setattr(group_mod, "FIXED_BASE_CACHE_ENTRIES", 1)
+        assert group.exp_cached(second, e) == pow(second, e, p.p)  # pow path
+        assert len(group._fixed_bases) == tables_before  # no table built
+        # already-cached bases keep using their tables
+        assert group.exp_cached(first, e) == pow(first, e, p.p)
+
+    def test_gexp_unchanged_by_routing(self, params, rng):
+        """gexp must give identical results above and below the table
+        threshold (toy groups take the plain-pow branch)."""
+        for bits in (32, FIXED_BASE_MIN_BITS):
+            p = GroupParams.predefined(bits)
+            group = SchnorrGroup(p)
+            for _ in range(20):
+                e = rng.randrange(-2 * p.q, 2 * p.q)
+                assert group.gexp(e) == pow(p.g, e % p.q, p.p)
+
+    def test_rejects_bad_parameters(self, params):
+        with pytest.raises(ValueError):
+            FixedBaseExp(params.g, 1, params.q)
+        with pytest.raises(ValueError):
+            FixedBaseExp(params.g, params.p, 0)
+        with pytest.raises(ValueError):
+            FixedBaseExp(params.g, params.p, params.q, window=0)
+
+
+class TestMultiexp:
+    @pytest.mark.parametrize("bits", [32, 64, 128])
+    @pytest.mark.parametrize("length", [1, 2, 7, 40])
+    def test_signed_small_exponents(self, bits, length):
+        params = GroupParams.predefined(bits)
+        group = SchnorrGroup(params, rng=random.Random(length))
+        rng = random.Random(bits * 1000 + length)
+        bases = [group.random_element() for _ in range(length)]
+        exponents = [rng.randrange(-500, 501) for _ in range(length)]
+        assert multiexp(bases, exponents, params.p, order=params.q) == \
+            reference_product(bases, exponents, params.p, params.q)
+
+    @pytest.mark.parametrize("length", [1, 3, 12])
+    def test_full_width_exponents(self, params, group, rng, length):
+        bases = [group.random_element() for _ in range(length)]
+        exponents = [rng.randrange(-2 * params.q, 2 * params.q)
+                     for _ in range(length)]
+        assert multiexp(bases, exponents, params.p, order=params.q) == \
+            reference_product(bases, exponents, params.p, params.q)
+
+    def test_mixed_magnitudes_above_naive_threshold(self, params, group, rng):
+        """Exercise the interleaved-window path (>16-bit exponents)."""
+        bases = [group.random_element() for _ in range(6)]
+        exponents = [3, -7, rng.randrange(1 << 20), -(1 << 19),
+                     params.q - 2, 0]
+        assert multiexp(bases, exponents, params.p, order=params.q) == \
+            reference_product(bases, exponents, params.p, params.q)
+
+    def test_empty_and_zero(self, params, group):
+        assert multiexp([], [], params.p, order=params.q) == 1
+        bases = [group.random_element(), group.random_element()]
+        assert multiexp(bases, [0, 0], params.p, order=params.q) == 1
+
+    def test_without_order_uses_raw_exponents(self, params, group):
+        base = group.random_element()
+        assert multiexp([base], [10], params.p) == pow(base, 10, params.p)
+
+    def test_length_mismatch(self, params, group):
+        with pytest.raises(ValueError):
+            multiexp([group.random_element()], [1, 2], params.p)
+
+    def test_group_wrapper(self, params, group, rng):
+        bases = [group.random_element() for _ in range(5)]
+        exponents = [rng.randrange(-300, 300) for _ in range(5)]
+        assert group.multiexp(bases, exponents) == \
+            reference_product(bases, exponents, params.p, params.q)
+
+
+class TestFeipUsesFastExp:
+    def test_negative_weights_roundtrip(self, params, rng, solver_cache):
+        """decrypt_raw's multiexp must handle signed weight vectors."""
+        feip = Feip(params, rng=rng, solver_cache=solver_cache)
+        mpk, msk = feip.setup(6)
+        x = [rng.randrange(-40, 41) for _ in range(6)]
+        y = [rng.randrange(-40, 41) for _ in range(6)]
+        key = feip.key_derive(msk, y)
+        ct = feip.encrypt(mpk, x)
+        expected = sum(a * b for a, b in zip(x, y))
+        assert feip.decrypt(mpk, ct, key, bound=6 * 40 * 40 + 1) == expected
+
+
+class TestAsIntMatrix:
+    def test_vectorized_matches_semantics(self):
+        out = as_int_matrix([[1.0, 2], [np.float64(3.5), 4]])
+        assert out.dtype == object
+        assert out.tolist() == [[1, 2], [3, 4]]
+        assert all(type(v) is int for v in out.ravel())
+
+    def test_empty_rows(self):
+        out = as_int_matrix(np.empty((0, 3), dtype=object))
+        assert out.shape == (0, 3)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            as_int_matrix([1, 2, 3])
+
+
+class TestPoolMatchesSequential:
+    def test_pool_reuse_identical_results(self, params, rng, solver_cache):
+        """One persistent pool, many calls: results must equal the
+        sequential scheme path and no executor may be respawned."""
+        scheme = SecureMatrixScheme(params, rng=rng, solver_cache=solver_cache)
+        msk_ip, msk_bo = scheme.setup(column_length=3)
+        x = np.array([[rng.randrange(-9, 10) for _ in range(5)]
+                      for _ in range(3)], dtype=object)
+        y = np.array([[rng.randrange(-9, 10) for _ in range(3)]
+                      for _ in range(2)], dtype=object)
+        enc = scheme.pre_process_encryption(x)
+        dot_keys = scheme.derive_dot_keys(msk_ip, y)
+        ew_keys = scheme.derive_elementwise_keys(msk_bo, "+", x,
+                                                 enc.commitments())
+        dot_bound = matrix_bound_dot(9, 9, 3)
+        ew_bound = matrix_bound_elementwise("+", 9, 9)
+        serial_dot = scheme.secure_dot(enc, dot_keys, dot_bound)
+        serial_ew = scheme.secure_elementwise(enc, ew_keys, ew_bound)
+        with SecureComputePool(workers=2) as pool:
+            pooled = SecureMatrixScheme(
+                params, feip_mpk=scheme.feip_mpk, febo_mpk=scheme.febo_mpk,
+                rng=rng, solver_cache=solver_cache, pool=pool,
+            )
+            for _ in range(2):  # reuse across repeated calls
+                np.testing.assert_array_equal(
+                    pooled.secure_dot(enc, dot_keys, dot_bound), serial_dot
+                )
+                np.testing.assert_array_equal(
+                    pooled.secure_elementwise(enc, ew_keys, ew_bound),
+                    serial_ew,
+                )
+            assert pool.executors_created == 1
+            assert pool.dispatches == 4
