@@ -25,8 +25,9 @@ from repro.nn.model import Sequential
 from repro.nn.optimizers import SGD
 
 
-def run_one_iteration(k: int, n: int, m: int):
-    config = CryptoNNConfig()
+def run_one_iteration(k: int, n: int, m: int,
+                      batch_key_requests: bool = False):
+    config = CryptoNNConfig(batch_key_requests=batch_key_requests)
     authority = TrustedAuthority(config, rng=random.Random(0))
     client = Client(authority)
     rng = np.random.default_rng(0)
@@ -34,7 +35,7 @@ def run_one_iteration(k: int, n: int, m: int):
     y = rng.integers(0, 2, size=m)
     enc = client.encrypt_tabular(x, y, num_classes=2)
     model = Sequential([Dense(n, k, rng=rng), ReLU(), Dense(k, 2, rng=rng)])
-    trainer = CryptoNNTrainer(model, authority)
+    trainer = CryptoNNTrainer(model, authority, config=config)
     authority.traffic.clear()
     trainer.fit(enc, SGD(0.1), epochs=1, batch_size=m, max_batches=1,
                 rng=np.random.default_rng(1))
@@ -73,3 +74,55 @@ def test_communication_matches_formula(benchmark):
 
     assert upload == formula_upload + loss_upload
     assert download == formula_download + loss_download
+
+
+def test_communication_batched_vs_unbatched(benchmark):
+    """Key-request batching: same payload, collapsed message count.
+
+    The unbatched path sends ``1 + m`` FEIP request messages per
+    iteration (one for the first-layer rows, one per sample for the
+    loss keys); batching coalesces them into 2 framed envelopes at the
+    cost of one 8-byte envelope header each -- the shape the networked
+    runtime (repro.rpc) puts on the wire.
+    """
+    from repro.core.serialization import BATCH_HEADER_BYTES
+
+    k, n, m = 8, 6, 30
+    unbatched = run_one_iteration(k, n, m, batch_key_requests=False)
+    batched = benchmark.pedantic(run_one_iteration, args=(k, n, m, True),
+                                 rounds=1, iterations=1)
+
+    plain_up = unbatched.traffic.total_bytes(
+        sender=protocol.SERVER, kind=protocol.KIND_FEIP_KEY_REQUEST)
+    plain_msgs = unbatched.traffic.message_count(
+        protocol.KIND_FEIP_KEY_REQUEST)
+    batch_up = batched.traffic.total_bytes(
+        sender=protocol.SERVER, kind=protocol.KIND_FEIP_KEY_BATCH_REQUEST)
+    batch_msgs = batched.traffic.message_count(
+        protocol.KIND_FEIP_KEY_BATCH_REQUEST)
+    febo_plain_msgs = unbatched.traffic.message_count(
+        protocol.KIND_FEBO_KEY_REQUEST)
+    febo_batch_msgs = batched.traffic.message_count(
+        protocol.KIND_FEBO_KEY_BATCH_REQUEST)
+
+    rows = [
+        ["feip request messages (unbatched)", str(plain_msgs)],
+        ["feip request messages (batched)", str(batch_msgs)],
+        ["feip upload bytes (unbatched = paper formula)", str(plain_up)],
+        ["feip upload bytes (batched = formula + headers)", str(batch_up)],
+        ["febo request messages (unbatched)", str(febo_plain_msgs)],
+        ["febo request messages (batched)", str(febo_batch_msgs)],
+    ]
+    write_report("communication_batched_vs_unbatched",
+                 series_table(["quantity", "per iteration"], rows))
+
+    # paper formula payload is untouched; only envelope headers are added
+    assert plain_up == k * n * w_bytes(unbatched) + m * 2 * w_bytes(unbatched)
+    assert batch_up == plain_up + batch_msgs * BATCH_HEADER_BYTES
+    # the request fan-out collapses from 1 + m messages to 2 envelopes
+    assert plain_msgs == 1 + m
+    assert batch_msgs == 2
+
+
+def w_bytes(authority) -> int:
+    return authority.config.key_weight_bytes

@@ -1,11 +1,18 @@
 #!/usr/bin/env python3
-"""Distributed data sources with a shared label-mapping secret.
+"""Distributed data sources over the real networked runtime.
 
 Demonstrates the paper's "Distributed data source" property (Section
-III-A): any number of data owners can contribute, as long as everything
-is encrypted under the same public key.  Also shows the anti-inference
-label mapping in action -- the server's view of the labels is a secret
-permutation, and only the clients can interpret predictions.
+III-A) on actual sockets: the authority key service and the training
+server run as separate asyncio services, five clinic clients encrypt
+locally and upload their shards over TCP, and the training server
+drives the secure training loop while fetching function keys over the
+wire -- one batched key envelope per iteration step instead of the
+k x n x |w| request fan-out (Section IV-B2).
+
+The anti-inference label mapping still applies: the server's view of
+the labels is a secret permutation distributed by the authority
+alongside the public keys, so only the clients can interpret the
+predictions they fetch back from the server.
 
 Run:  python examples/distributed_clinics.py
 """
@@ -14,20 +21,43 @@ import random
 
 import numpy as np
 
-from repro.core import CryptoNNConfig, CryptoNNTrainer, TrustedAuthority
-from repro.core.encdata import EncryptedTabularDataset
-from repro.core.entities import Client
-from repro.data import LabelMapper, load_clinics
-from repro.nn import SGD, Dense, ReLU, Sequential
+from repro.core import CryptoNNConfig, TrustedAuthority
+from repro.core import protocol
+from repro.data import (
+    LabelMapper,
+    load_clinics,
+    normalize_features,
+    shared_feature_scale,
+)
+from repro.rpc import (
+    AuthorityService,
+    RpcEndpoint,
+    ServiceThread,
+    TrainingService,
+    upload_shard,
+)
+from repro.rpc.messages import PredictRequest
 
 
 def main() -> None:
+    # -- the authority: master keys never leave this service ---------------
     authority = TrustedAuthority(CryptoNNConfig(), rng=random.Random(7))
+    authority_thread = ServiceThread(AuthorityService(authority))
+    auth_host, auth_port = authority_thread.start()
+    print(f"authority key service at {auth_host}:{auth_port}")
+
+    # -- the training server: trains once all five clinics upload ----------
+    train_service = TrainingService(
+        auth_host, auth_port, expected_clients=5,
+        hidden=10, epochs=4, batch_size=30, learning_rate=0.5, seed=0)
+    train_thread = ServiceThread(train_service)
+    srv_host, srv_port = train_thread.start()
+    print(f"training server at {srv_host}:{srv_port}\n")
 
     # five clinics of different sizes, non-IID shards
     shards = load_clinics(n_clinics=5, samples_per_clinic=60, n_features=6,
                           clinic_shift=0.5, seed=11)
-    max_abs = max(np.abs(s.x).max() for s in shards) + 1e-9
+    scale = shared_feature_scale([s.x for s in shards])
 
     # the clients share the label-mapping secret; the AUTHORITY distributes
     # it alongside the public keys, the server never sees it
@@ -35,39 +65,54 @@ def main() -> None:
     print(f"secret label permutation (client-side only): "
           f"{mapper.permutation.tolist()}\n")
 
-    parts = []
     for i, shard in enumerate(shards):
-        client = Client(authority, label_mapper=mapper, name=f"clinic-{i}")
-        x = np.clip(shard.x / max_abs, -1, 1)
-        parts.append(client.encrypt_tabular(x, shard.y, num_classes=2))
-        upload = authority.traffic.total_bytes(sender=f"clinic-{i}")
-        print(f"clinic-{i}: {len(shard)} records -> {upload:,} bytes uploaded")
+        result = upload_shard(
+            (auth_host, auth_port), (srv_host, srv_port),
+            normalize_features(shard.x, scale), shard.y, 2,
+            name=f"clinic-{i}", label_mapper=mapper,
+            rng=random.Random(100 + i))
+        print(f"clinic-{i}: {len(shard)} records -> "
+              f"{result['upload_bytes']:,} bytes over the socket")
 
-    dataset = EncryptedTabularDataset(
-        samples=[s for p in parts for s in p.samples],
-        labels=[l for p in parts for l in p.labels],
-        num_classes=2, n_features=6, scale=authority.config.scale,
-        eval_labels=np.concatenate([p.eval_labels for p in parts]),
-    )
-
-    rng = np.random.default_rng(0)
-    model = Sequential([Dense(6, 10, rng=rng), ReLU(), Dense(10, 2, rng=rng)])
-    trainer = CryptoNNTrainer(model, authority)
-    trainer.fit(dataset, SGD(0.5), epochs=4, batch_size=30,
-                rng=np.random.default_rng(1))
+    # -- wait for the remote training run to finish ------------------------
+    train_thread.call(lambda: train_service.wait_done(timeout=600),
+                      timeout=620)
+    if train_service.state != "done":
+        raise RuntimeError(f"remote training failed: {train_service.error}")
     print(f"\nserver-side accuracy (in wire-label space): "
-          f"{trainer.evaluate(dataset):.2%}")
+          f"{train_service.accuracy:.2%}")
 
-    # -- prediction: only a client can interpret the output -------------------
-    probs_wire = trainer.predict(dataset, np.arange(8))
-    wire_classes = probs_wire.argmax(axis=1)
+    # per-iteration key traffic, as actually framed on the wire
+    server_logs = [
+        log for label, log in
+        authority_thread.service.connection_traffic.items()
+        if label.startswith(protocol.SERVER)
+    ]
+    batch_up = sum(log.total_bytes(
+        kind=protocol.KIND_FEIP_KEY_BATCH_REQUEST) for log in server_logs)
+    batch_msgs = sum(log.message_count(
+        protocol.KIND_FEIP_KEY_BATCH_REQUEST) for log in server_logs)
+    print(f"feip key requests: {batch_msgs} batched envelopes, "
+          f"{batch_up:,} bytes server->authority")
+
+    # -- prediction: only a client can interpret the output -----------------
+    with RpcEndpoint(srv_host, srv_port, name="clinic-0",
+                     peer=protocol.SERVER) as endpoint:
+        scores = endpoint.request(
+            PredictRequest(indices=list(range(8)), requester="clinic-0"))
+    wire_classes = np.array([int(np.argmax(row)) for row in scores.scores])
     logical = mapper.unmap_labels(wire_classes)
-    truth = mapper.unmap_labels(dataset.eval_labels[:8])
+    truth = mapper.unmap_labels(
+        train_service.dataset.eval_labels[:8])
     print("\nsample  server sees (wire)  client decodes  ground truth")
     for i in range(8):
-        print(f"{i:6d}  {wire_classes[i]:^18d}  {logical[i]:^14d}  {truth[i]:^12d}")
+        print(f"{i:6d}  {wire_classes[i]:^18d}  {logical[i]:^14d}  "
+              f"{truth[i]:^12d}")
     print("\nThe wire labels are meaningless without the clients' secret "
           "permutation -- the paper's mitigation for label inference.")
+
+    train_thread.stop()
+    authority_thread.stop()
 
 
 if __name__ == "__main__":

@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Loopback multi-process demo of the networked runtime.
+
+Runs the three CryptoNN entities as genuinely separate OS processes
+talking over 127.0.0.1 sockets:
+
+* an **authority key service** process (owns every master secret),
+* a **training server** process (drives the secure training loop,
+  fetching function keys over the wire),
+* one **client process per clinic** (encrypts locally, uploads the
+  ciphertexts).
+
+Afterwards the driver replays the identical run in-process (same seeds,
+same entry point) and checks that both paths reach the *same* accuracy:
+decryption recovers exact integers, so the transport cannot change the
+floating-point trajectory.
+
+Run:  python examples/rpc_loopback.py
+"""
+
+import multiprocessing
+import random
+import time
+
+from repro.cli import main as repro_cli
+from repro.core import CryptoNNConfig, TrustedAuthority
+from repro.core.encdata import merge_encrypted_tabular
+from repro.core.entities import Client
+from repro.data import load_clinics, normalize_features, shared_feature_scale
+from repro.rpc import RpcEndpoint, free_port, run_training, wait_for_port
+from repro.rpc.messages import TrainStatusRequest
+
+N_CLIENTS = 2
+SAMPLES = 20
+FEATURES = 4
+HIDDEN = 6
+EPOCHS = 2
+BATCH_SIZE = 10
+LEARNING_RATE = 0.5
+SEED = 0
+
+
+def main() -> None:
+    ctx = multiprocessing.get_context("fork")
+    auth_port, train_port = free_port(), free_port()
+
+    # -- three entities, three (or more) processes --------------------------
+    authority_proc = ctx.Process(
+        target=repro_cli,
+        args=(["serve-authority", "--port", str(auth_port),
+               "--seed", str(SEED)],),
+        daemon=True)
+    authority_proc.start()
+    wait_for_port("127.0.0.1", auth_port)
+
+    train_proc = ctx.Process(
+        target=repro_cli,
+        args=(["serve-train", "--port", str(train_port),
+               "--authority-port", str(auth_port),
+               "--expected-clients", str(N_CLIENTS),
+               "--hidden", str(HIDDEN), "--epochs", str(EPOCHS),
+               "--batch-size", str(BATCH_SIZE),
+               "--learning-rate", str(LEARNING_RATE),
+               "--seed", str(SEED), "--stay"],),
+        daemon=True)
+    train_proc.start()
+    wait_for_port("127.0.0.1", train_port)
+
+    client_procs = []
+    for i in range(N_CLIENTS):
+        proc = ctx.Process(
+            target=repro_cli,
+            args=(["client-upload", "--authority-port", str(auth_port),
+                   "--server-port", str(train_port),
+                   "--clinic", str(i), "--clinics", str(N_CLIENTS),
+                   "--samples", str(SAMPLES), "--features", str(FEATURES),
+                   "--seed", str(SEED)],),
+            daemon=True)
+        proc.start()
+        client_procs.append(proc)
+    for i, proc in enumerate(client_procs):
+        proc.join(timeout=120)
+        if proc.exitcode != 0:
+            raise RuntimeError(
+                f"client-{i} upload failed (exit code {proc.exitcode}); "
+                f"see its output above")
+
+    # -- poll the training server until the remote run completes ------------
+    # one endpoint for the whole poll loop: one TCP connection, not one
+    # per poll
+    deadline = time.monotonic() + 300
+    status = None
+    with RpcEndpoint("127.0.0.1", train_port, name="driver",
+                     peer="server") as endpoint:
+        while time.monotonic() < deadline:
+            try:
+                status = endpoint.request(TrainStatusRequest())
+            except Exception:
+                status = None  # server busy starting up; retry
+            if status is not None and status.state in ("done", "failed"):
+                break
+            time.sleep(0.3)
+    if status is None or status.state != "done":
+        detail = status.detail.get("error") if status else "no status"
+        raise RuntimeError(
+            f"remote training did not finish: "
+            f"{status.state if status else 'unreachable'} ({detail})")
+    remote_accuracy = status.accuracy
+    print(f"\ndistributed run (3+ processes): accuracy {remote_accuracy:.2%}")
+    train_proc.terminate()
+    train_proc.join(timeout=10)
+    authority_proc.terminate()
+    authority_proc.join(timeout=10)
+
+    # -- identical run in one process: same seeds, same entry point ---------
+    authority = TrustedAuthority(CryptoNNConfig(), rng=random.Random(SEED))
+    shards = load_clinics(n_clinics=N_CLIENTS, samples_per_clinic=SAMPLES,
+                          n_features=FEATURES, seed=SEED)
+    scale = shared_feature_scale([s.x for s in shards])
+    parts = []
+    for i, shard in enumerate(shards):
+        client = Client(authority, name=f"client-{i}")
+        parts.append(client.encrypt_tabular(
+            normalize_features(shard.x, scale), shard.y, 2))
+    merged = merge_encrypted_tabular(parts)
+    _, _, local_accuracy = run_training(
+        merged, authority, hidden=HIDDEN, epochs=EPOCHS,
+        batch_size=BATCH_SIZE, learning_rate=LEARNING_RATE, seed=SEED)
+    print(f"in-process run (one process):   accuracy {local_accuracy:.2%}")
+    print(f"identical across transports:    "
+          f"{remote_accuracy == local_accuracy}")
+
+
+if __name__ == "__main__":
+    main()

@@ -12,14 +12,26 @@ can be run from a separate shell (or machine, with the files shipped):
     python -m repro demo
     python -m repro info
 
+The networked runtime (:mod:`repro.rpc`) replaces files with sockets --
+each role becomes a long-running process:
+
+    python -m repro serve-authority --port 9000
+    python -m repro serve-train     --port 9001 --authority-port 9000 \
+                                    --expected-clients 3
+    python -m repro client-upload   --authority-port 9000 --server-port 9001 \
+                                    --clinic 0 --clinics 3
+
 SECURITY: the authority file holds master secret keys -- in a real
 deployment it never leaves the authority.  The CLI keeps everything in
-files purely to make the roles tangible.
+files purely to make the roles tangible; the serve-* commands keep the
+master keys inside the authority process, as the paper's architecture
+requires.
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
 import random
 import sys
 
@@ -37,21 +49,20 @@ from repro.core.checkpoint import (
 from repro.core.config import CryptoNNConfig
 from repro.core.cryptonn import CryptoNNTrainer
 from repro.core.entities import Client, TrustedAuthority
+from repro.data.preprocess import normalize_features, shared_feature_scale
 from repro.data.tabular import load_clinics, merge_shards
 from repro.mathutils.group import _PREDEFINED
-from repro.nn.layers import Dense, ReLU
 from repro.nn.model import Sequential
 from repro.nn.optimizers import SGD
 
 
 def _build_model(n_features: int, hidden: int, num_classes: int,
                  seed: int) -> Sequential:
-    rng = np.random.default_rng(seed)
-    return Sequential([
-        Dense(n_features, hidden, rng=rng),
-        ReLU(),
-        Dense(hidden, num_classes, rng=rng),
-    ])
+    # the one model builder shared with the networked training server,
+    # so "same seed => same model" holds across every entry point
+    from repro.rpc.training_service import build_mlp
+
+    return build_mlp(n_features, hidden, num_classes, seed)
 
 
 # -- subcommands -----------------------------------------------------------------
@@ -84,7 +95,7 @@ def cmd_encrypt(args: argparse.Namespace) -> int:
                           samples_per_clinic=args.samples,
                           n_features=args.features, seed=args.seed)
     merged = merge_shards(shards)
-    x = np.clip(merged.x / (np.abs(merged.x).max() + 1e-9), -1, 1)
+    x = normalize_features(merged.x, shared_feature_scale([merged.x]))
     client = Client(authority)
     dataset = client.encrypt_tabular(x, merged.y, num_classes=args.classes)
     save_encrypted_tabular(dataset, args.out)
@@ -125,13 +136,100 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+# -- networked runtime -------------------------------------------------------------
+
+def cmd_serve_authority(args: argparse.Namespace) -> int:
+    """Run the authority key service until interrupted."""
+    from repro.rpc import run_authority_service
+
+    if args.authority:
+        authority = load_authority(args.authority,
+                                   rng=random.Random(args.seed))
+    else:
+        config = CryptoNNConfig(security_bits=args.bits, scale=args.scale)
+        authority = TrustedAuthority(config, rng=random.Random(args.seed))
+    run_authority_service(authority, args.host, args.port)
+    return 0
+
+
+def cmd_serve_train(args: argparse.Namespace) -> int:
+    """Run the training server; exits once training completes."""
+    from repro.rpc import TrainingService
+
+    service = TrainingService(
+        args.authority_host, args.authority_port,
+        host=args.host, port=args.port,
+        expected_clients=args.expected_clients, hidden=args.hidden,
+        epochs=args.epochs, batch_size=args.batch_size,
+        learning_rate=args.learning_rate, seed=args.seed,
+        batch_key_requests=not args.no_batch_keys,
+    )
+
+    async def _run() -> int:
+        try:
+            host, port = await service.start()
+            print(f"training server listening on {host}:{port} "
+                  f"(authority at "
+                  f"{args.authority_host}:{args.authority_port})",
+                  flush=True)
+            await service.wait_done()
+            if service.state == "failed":
+                print(f"training failed: {service.error}", flush=True)
+            else:
+                print(f"training done: accuracy {service.accuracy:.2%} "
+                      f"over {len(service.dataset)} encrypted samples")
+                for label, log in sorted(service.connection_traffic.items()):
+                    print(f"  connection {label}: "
+                          f"{log.total_bytes():,} bytes "
+                          f"({log.message_count()} messages)")
+            if args.stay:
+                # keep answering train-status (and, on success,
+                # predict-request) so drivers can observe the outcome
+                print("serving until interrupted", flush=True)
+                await asyncio.Event().wait()
+            return 1 if service.state == "failed" else 0
+        finally:
+            # closes the authority endpoint too, so an interrupted
+            # training thread fails fast instead of blocking exit
+            await service.stop()
+
+    try:
+        return asyncio.run(_run())
+    except KeyboardInterrupt:
+        return 0
+
+
+def cmd_client_upload(args: argparse.Namespace) -> int:
+    """Encrypt one clinic shard locally and upload it over the wire."""
+    from repro.rpc import upload_shard
+
+    shards = load_clinics(n_clinics=args.clinics,
+                          samples_per_clinic=args.samples,
+                          n_features=args.features, seed=args.seed)
+    if not 0 <= args.clinic < args.clinics:
+        raise SystemExit(f"--clinic must be in [0, {args.clinics})")
+    # normalize with the shared scale so every client scales identically
+    scale = shared_feature_scale([s.x for s in shards])
+    shard = shards[args.clinic]
+    name = args.name or f"client-{args.clinic}"
+    result = upload_shard(
+        (args.authority_host, args.authority_port),
+        (args.server_host, args.server_port),
+        normalize_features(shard.x, scale), shard.y, args.classes,
+        name=name, rng=random.Random(args.seed + args.clinic),
+    )
+    print(f"{name}: uploaded {result['n_samples']} encrypted samples "
+          f"({result['upload_bytes']:,} bytes); server ack {result['ack']}")
+    return 0
+
+
 def cmd_demo(args: argparse.Namespace) -> int:
     """End-to-end demo in one process (no files)."""
     config = CryptoNNConfig()
     authority = TrustedAuthority(config, rng=random.Random(0))
     shard = load_clinics(n_clinics=1, samples_per_clinic=args.samples,
                          n_features=6, seed=0)[0]
-    x = np.clip(shard.x / (np.abs(shard.x).max() + 1e-9), -1, 1)
+    x = normalize_features(shard.x, shared_feature_scale([shard.x]))
     dataset = Client(authority).encrypt_tabular(x, shard.y, num_classes=2)
     model = _build_model(6, 8, 2, seed=0)
     trainer = CryptoNNTrainer(model, authority)
@@ -194,6 +292,55 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("demo", help="one-process end-to-end demo")
     p.add_argument("--samples", type=int, default=100)
     p.set_defaults(func=cmd_demo)
+
+    p = sub.add_parser("serve-authority",
+                       help="run the authority key service (RPC)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="0 picks a free port (printed at startup)")
+    p.add_argument("--authority",
+                   help="resume master keys from a keygen file")
+    p.add_argument("--bits", type=int, default=32,
+                   help="group size for a fresh authority; 256 = paper")
+    p.add_argument("--scale", type=int, default=100)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_serve_authority)
+
+    p = sub.add_parser("serve-train",
+                       help="run the training server (RPC)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0)
+    p.add_argument("--authority-host", default="127.0.0.1")
+    p.add_argument("--authority-port", type=int, required=True)
+    p.add_argument("--expected-clients", type=int, default=1,
+                   help="train once this many shards have arrived")
+    p.add_argument("--hidden", type=int, default=16)
+    p.add_argument("--epochs", type=int, default=3)
+    p.add_argument("--batch-size", type=int, default=20)
+    p.add_argument("--learning-rate", type=float, default=0.5)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--no-batch-keys", action="store_true",
+                   help="per-request key messages instead of one "
+                        "batched envelope per iteration step")
+    p.add_argument("--stay", action="store_true",
+                   help="keep serving predictions after training")
+    p.set_defaults(func=cmd_serve_train)
+
+    p = sub.add_parser("client-upload",
+                       help="encrypt a clinic shard and upload it (RPC)")
+    p.add_argument("--authority-host", default="127.0.0.1")
+    p.add_argument("--authority-port", type=int, required=True)
+    p.add_argument("--server-host", default="127.0.0.1")
+    p.add_argument("--server-port", type=int, required=True)
+    p.add_argument("--clinic", type=int, default=0,
+                   help="which of the --clinics shards this client owns")
+    p.add_argument("--clinics", type=int, default=3)
+    p.add_argument("--samples", type=int, default=60)
+    p.add_argument("--features", type=int, default=8)
+    p.add_argument("--classes", type=int, default=2)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--name", help="client name (default client-<clinic>)")
+    p.set_defaults(func=cmd_client_upload)
 
     return parser
 

@@ -41,6 +41,13 @@ class CryptoNNConfig:
         workers: process count for the parallel secure feed-forward
             (paper Figures 3d/4d/5d).  None runs serially -- the right
             choice for small batches, where pool startup dominates.
+        batch_key_requests: coalesce every per-iteration key request
+            (first-layer rows, per-sample loss keys, label subtractions)
+            into one batched envelope per step, recorded under the
+            ``*-key-batch-*`` traffic kinds.  Off by default so the
+            unbatched accounting matches the paper's Section IV-B2
+            formula message-for-message; the networked runtime
+            (:mod:`repro.rpc`) turns it on to collapse round trips.
     """
 
     security_bits: int = TOY_SECURITY_BITS
@@ -50,6 +57,7 @@ class CryptoNNConfig:
     cache_reconstructed_features: bool = True
     key_weight_bytes: int = 8
     workers: int | None = None
+    batch_key_requests: bool = False
 
     @classmethod
     def paper(cls) -> "CryptoNNConfig":

@@ -97,6 +97,33 @@ class EncryptedImageDataset:
         return len(self.images)
 
 
+def merge_encrypted_tabular(parts: list[EncryptedTabularDataset]
+                            ) -> EncryptedTabularDataset:
+    """Server-side merge of shards uploaded by different clients.
+
+    The paper's only multi-source requirement is that every shard was
+    encrypted under the same public key; shapes and scale must agree.
+    """
+    if not parts:
+        raise ValueError("cannot merge zero encrypted shards")
+    first = parts[0]
+    for p in parts[1:]:
+        if (p.n_features, p.num_classes, p.scale) != \
+                (first.n_features, first.num_classes, first.scale):
+            raise ValueError("encrypted shards disagree on shape or scale")
+    eval_labels = None
+    if all(p.eval_labels is not None for p in parts):
+        eval_labels = np.concatenate([p.eval_labels for p in parts])
+    return EncryptedTabularDataset(
+        samples=[s for p in parts for s in p.samples],
+        labels=[label for p in parts for label in p.labels],
+        num_classes=first.num_classes,
+        n_features=first.n_features,
+        scale=first.scale,
+        eval_labels=eval_labels,
+    )
+
+
 def batch_indices(n: int, batch_size: int,
                   rng: np.random.Generator | None = None,
                   shuffle: bool = True) -> list[np.ndarray]:

@@ -94,6 +94,30 @@ class TrustedAuthority:
         return self._febo_pair[0]
 
     # -- function keys -----------------------------------------------------------
+    def _record_exchange(self, requester: str, request_kind: str,
+                         request_bytes: int, response_kind: str,
+                         response_bytes: int) -> None:
+        """One request/response round trip in the traffic log."""
+        self.traffic.record(requester, protocol.AUTHORITY, request_kind,
+                            request_bytes)
+        self.traffic.record(protocol.AUTHORITY, requester, response_kind,
+                            response_bytes)
+
+    def _derive_feip(self, rows: list[list[int]],
+                     requester: str) -> list[FeipFunctionKey]:
+        """Policy-checked derivation shared by both traffic accountings."""
+        eta = len(rows[0])
+        if any(len(r) != eta for r in rows):
+            raise ValueError("all requested weight rows must share a length")
+        if self.policy is not None:
+            self.policy.check_feip_request(rows, requester)
+        if eta not in self._feip_pairs:
+            self._feip_pairs[eta] = self.feip.setup(eta)
+        _, msk = self._feip_pairs[eta]
+        keys = [self.feip.key_derive(msk, row) for row in rows]
+        self.feip_keys_issued += len(keys)
+        return keys
+
     def derive_feip_keys(self, rows: list[list[int]],
                          requester: str = protocol.SERVER
                          ) -> list[FeipFunctionKey]:
@@ -105,36 +129,44 @@ class TrustedAuthority:
         """
         if not rows:
             return []
+        keys = self._derive_feip(rows, requester)
         eta = len(rows[0])
-        if any(len(r) != eta for r in rows):
-            raise ValueError("all requested weight rows must share a length")
-        if self.policy is not None:
-            self.policy.check_feip_request(rows, requester)
-        if eta not in self._feip_pairs:
-            self._feip_pairs[eta] = self.feip.setup(eta)
-        _, msk = self._feip_pairs[eta]
-        keys = [self.feip.key_derive(msk, row) for row in rows]
-        self.feip_keys_issued += len(keys)
-        self.traffic.record(
-            requester, protocol.AUTHORITY, protocol.KIND_FEIP_KEY_REQUEST,
+        wb = self.config.key_weight_bytes
+        self._record_exchange(
+            requester,
+            protocol.KIND_FEIP_KEY_REQUEST,
             len(rows) * serialization.feip_key_request_wire_size(
-                eta, self.params, self.config.key_weight_bytes),
-        )
-        self.traffic.record(
-            protocol.AUTHORITY, requester, protocol.KIND_FEIP_KEY_RESPONSE,
-            sum(serialization.feip_key_wire_size(
-                k, self.params, self.config.key_weight_bytes) for k in keys),
+                eta, self.params, wb),
+            protocol.KIND_FEIP_KEY_RESPONSE,
+            sum(serialization.feip_key_wire_size(k, self.params, wb)
+                for k in keys),
         )
         return keys
 
-    def derive_febo_keys(self, requests: list[tuple[int, str, int]],
-                         requester: str = protocol.SERVER
-                         ) -> list[FeboFunctionKey]:
-        """Derive per-ciphertext basic-operation keys.
+    def derive_feip_keys_batch(self, rows: list[list[int]],
+                               requester: str = protocol.SERVER
+                               ) -> list[FeipFunctionKey]:
+        """Same derivation as :meth:`derive_feip_keys`, accounted as ONE
+        batched envelope in each direction (paper Section IV-B2's
+        k x n x |w| upload coalesced into a single framed message)."""
+        if not rows:
+            return []
+        keys = self._derive_feip(rows, requester)
+        eta = len(rows[0])
+        wb = self.config.key_weight_bytes
+        self._record_exchange(
+            requester,
+            protocol.KIND_FEIP_KEY_BATCH_REQUEST,
+            serialization.feip_key_batch_request_wire_size(
+                len(rows), eta, self.params, wb),
+            protocol.KIND_FEIP_KEY_BATCH_RESPONSE,
+            serialization.feip_key_batch_response_wire_size(
+                len(keys), eta, self.params, wb),
+        )
+        return keys
 
-        Args:
-            requests: list of ``(commitment, op_symbol, operand)``.
-        """
+    def _derive_febo(self, requests: list[tuple[int, str, int]],
+                     requester: str) -> list[FeboFunctionKey]:
         for _, op, _ in requests:
             if op not in self.permitted_ops:
                 raise UnsupportedOperationError(
@@ -148,15 +180,44 @@ class TrustedAuthority:
             for cmt, op, y in requests
         ]
         self.febo_keys_issued += len(keys)
-        self.traffic.record(
-            requester, protocol.AUTHORITY, protocol.KIND_FEBO_KEY_REQUEST,
+        return keys
+
+    def derive_febo_keys(self, requests: list[tuple[int, str, int]],
+                         requester: str = protocol.SERVER
+                         ) -> list[FeboFunctionKey]:
+        """Derive per-ciphertext basic-operation keys.
+
+        Args:
+            requests: list of ``(commitment, op_symbol, operand)``.
+        """
+        keys = self._derive_febo(requests, requester)
+        wb = self.config.key_weight_bytes
+        self._record_exchange(
+            requester,
+            protocol.KIND_FEBO_KEY_REQUEST,
             len(requests) * serialization.febo_key_request_wire_size(
-                self.params, self.config.key_weight_bytes),
+                self.params, wb),
+            protocol.KIND_FEBO_KEY_RESPONSE,
+            len(keys) * serialization.febo_key_wire_size(self.params, wb),
         )
-        self.traffic.record(
-            protocol.AUTHORITY, requester, protocol.KIND_FEBO_KEY_RESPONSE,
-            len(keys) * serialization.febo_key_wire_size(
-                self.params, self.config.key_weight_bytes),
+        return keys
+
+    def derive_febo_keys_batch(self, requests: list[tuple[int, str, int]],
+                               requester: str = protocol.SERVER
+                               ) -> list[FeboFunctionKey]:
+        """Batched-envelope accounting variant of :meth:`derive_febo_keys`."""
+        if not requests:
+            return []
+        keys = self._derive_febo(requests, requester)
+        wb = self.config.key_weight_bytes
+        self._record_exchange(
+            requester,
+            protocol.KIND_FEBO_KEY_BATCH_REQUEST,
+            serialization.febo_key_batch_request_wire_size(
+                len(requests), self.params, wb),
+            protocol.KIND_FEBO_KEY_BATCH_RESPONSE,
+            serialization.febo_key_batch_response_wire_size(
+                len(keys), self.params, wb),
         )
         return keys
 
@@ -224,12 +285,8 @@ class Client:
                 features_bo=tuple(self._febo.encrypt(bpk, v) for v in encoded),
             ))
             enc_labels.append(self._encrypt_label(int(mapped[i]), num_classes))
-        self._record_upload(
-            n * ((1 + f) * serialization.element_size_bytes(self.authority.params)
-                 + f * serialization.febo_ciphertext_wire_size(self.authority.params)
-                 + (1 + num_classes) * serialization.element_size_bytes(self.authority.params)
-                 + num_classes * serialization.febo_ciphertext_wire_size(self.authority.params))
-        )
+        self._record_upload(serialization.encrypted_tabular_wire_size(
+            n, f, num_classes, self.authority.params))
         return EncryptedTabularDataset(
             samples=samples, labels=enc_labels, num_classes=num_classes,
             n_features=f, scale=self.config.scale,

@@ -82,3 +82,13 @@ KIND_FEIP_KEY_REQUEST = "feip-key-request"
 KIND_FEIP_KEY_RESPONSE = "feip-key-response"
 KIND_FEBO_KEY_REQUEST = "febo-key-request"
 KIND_FEBO_KEY_RESPONSE = "febo-key-response"
+
+# Batched variants: many logical key requests coalesced into one framed
+# envelope (paper Section IV-B2's k x n x |w| upload as a single message).
+# Sizes include the envelope header, so batched totals exceed the raw
+# payload by BATCH_HEADER_BYTES per message while the message *count*
+# collapses to one per iteration step.
+KIND_FEIP_KEY_BATCH_REQUEST = "feip-key-batch-request"
+KIND_FEIP_KEY_BATCH_RESPONSE = "feip-key-batch-response"
+KIND_FEBO_KEY_BATCH_REQUEST = "febo-key-batch-request"
+KIND_FEBO_KEY_BATCH_RESPONSE = "febo-key-batch-response"

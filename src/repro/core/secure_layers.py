@@ -74,6 +74,21 @@ class _SecureBase:
     def _solver(self, bound: int):
         return self._cache.get(self._feip.group, bound)
 
+    def _request_feip_keys(self, rows):
+        """Key request honoring ``config.batch_key_requests``.
+
+        Batched requests coalesce all rows into one envelope message --
+        over the RPC transport this is one round trip instead of many.
+        """
+        if self.config.batch_key_requests:
+            return self.authority.derive_feip_keys_batch(rows)
+        return self.authority.derive_feip_keys(rows)
+
+    def _request_febo_keys(self, requests):
+        if self.config.batch_key_requests:
+            return self.authority.derive_febo_keys_batch(requests)
+        return self.authority.derive_febo_keys(requests)
+
 
 class _FeatureReconstructor(_SecureBase):
     """Recovers scaled features from FEBO ciphertexts for gradient steps.
@@ -90,7 +105,7 @@ class _FeatureReconstructor(_SecureBase):
 
     def _decrypt_elements(self, ciphertexts: Sequence, bound: int) -> list[int]:
         requests = [(ct.cmt, "*", 1) for ct in ciphertexts]
-        keys = self.authority.derive_febo_keys(requests)
+        keys = self._request_febo_keys(requests)
         self.counters.febo_keys_requested += len(keys)
         bpk = self.authority.febo_public_key()
         solver = self._cache.get(self._febo.group, bound)
@@ -151,7 +166,7 @@ class SecureLinearInput(_FeatureReconstructor):
                 training: bool = True) -> np.ndarray:
         """Return pre-activations ``Z1`` of shape (N, hidden)."""
         rows = self._encoded_weight_rows()
-        keys = self.authority.derive_feip_keys(rows)
+        keys = self._request_feip_keys(rows)
         self.counters.feip_keys_requested += len(keys)
         eta = self.dense.in_features
         mpk = self.authority.feip_public_key(eta)
@@ -223,7 +238,7 @@ class SecureConvInput(_FeatureReconstructor):
                 training: bool = True) -> np.ndarray:
         """Return pre-activations of shape (N, F, out_h, out_w)."""
         rows = self._encoded_filter_rows()
-        keys = self.authority.derive_feip_keys(rows)
+        keys = self._request_feip_keys(rows)
         self.counters.feip_keys_requested += len(keys)
         window_length = (self.conv.in_channels
                          * self.conv.filter_size * self.conv.filter_size)
@@ -310,7 +325,7 @@ def _decrypt_label_subtractions(layer: _SecureBase, values: np.ndarray,
         (labels[i].onehot_bo[c].cmt, "-", layer.codec.encode(values[i, c]))
         for i in range(n) for c in range(num_classes)
     ]
-    keys = layer.authority.derive_febo_keys(requests)
+    keys = layer._request_febo_keys(requests)
     layer.counters.febo_keys_requested += len(keys)
     layer.counters.febo_decrypts += len(keys)
     if layer._pool is not None and n:
@@ -360,11 +375,18 @@ class SecureSoftmaxCrossEntropy(_SecureBase):
         mpk = self.authority.feip_public_key(num_classes)
         bound = self.config.loss_bound(-self.min_log_prob + 1.0)
         solver = self._solver(bound)
+        encoded_rows = [[self.codec.encode(v) for v in log_p[n]]
+                        for n in range(logits.shape[0])]
+        if self.config.batch_key_requests:
+            # all per-sample log-p keys in one envelope (one round trip)
+            keys = self._request_feip_keys(encoded_rows)
+        else:
+            # one request per sample, matching the unbatched accounting
+            keys = [self.authority.derive_feip_keys([row])[0]
+                    for row in encoded_rows]
+        self.counters.feip_keys_requested += len(keys)
         total = 0.0
-        for n, label in enumerate(labels):
-            encoded_logp = [self.codec.encode(v) for v in log_p[n]]
-            key = self.authority.derive_feip_keys([encoded_logp])[0]
-            self.counters.feip_keys_requested += 1
+        for label, key in zip(labels, keys):
             element = self._feip.decrypt_raw(mpk, label.onehot_ip, key)
             inner = self.codec.decode(solver.solve(element), power=2)
             total -= inner

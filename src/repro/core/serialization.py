@@ -1,27 +1,43 @@
 """Wire serialization for keys and ciphertexts.
 
-Two purposes:
+Three purposes:
 
 * persistence / transport of crypto objects as JSON-able dicts;
 * **byte-accurate traffic accounting** for the communication-overhead
   experiment (paper Section IV-B2): group elements are serialized as
   fixed-width big-endian integers sized by the group modulus, exponents by
   the subgroup order, so message sizes match what a real deployment would
-  send.
+  send;
+* **binary packing** for the networked runtime (:mod:`repro.rpc`): the
+  ``pack_* / unpack_*`` codecs produce exactly the bytes the wire-size
+  functions account for, so per-connection traffic logs and the Section
+  IV-B2 formula agree with what actually crosses the socket.
+
+Batched key-request/response *envelopes* coalesce the per-iteration
+k x n x |w| key requests into one framed message (an 8-byte count/eta
+header plus the concatenated per-request payloads).  The same envelopes
+are used by the in-process batching path, the RPC services, and any
+on-disk captures, so all three account identically.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any
+from typing import Any, Sequence
 
 from repro.fe.keys import (
     FeboCiphertext,
     FeboFunctionKey,
+    FeboPublicKey,
     FeipCiphertext,
     FeipFunctionKey,
+    FeipPublicKey,
 )
 from repro.mathutils.group import GroupParams
+
+#: Fixed overhead of a batched key-request/response envelope: a 4-byte
+#: item count plus a 4-byte vector-length / flags field.
+BATCH_HEADER_BYTES = 8
 
 
 def element_size_bytes(params: GroupParams) -> int:
@@ -113,3 +129,343 @@ def febo_key_request_wire_size(params: GroupParams,
                                weight_bytes: int = 8) -> int:
     """Server -> authority: commitment + op + operand."""
     return element_size_bytes(params) + 1 + weight_bytes
+
+
+def feip_key_batch_request_wire_size(n_rows: int, vector_length: int,
+                                     params: GroupParams,
+                                     weight_bytes: int = 8) -> int:
+    """One framed envelope carrying ``n_rows`` weight rows."""
+    return BATCH_HEADER_BYTES + n_rows * feip_key_request_wire_size(
+        vector_length, params, weight_bytes)
+
+
+def feip_key_batch_response_wire_size(n_keys: int, vector_length: int,
+                                      params: GroupParams,
+                                      weight_bytes: int = 8) -> int:
+    """One framed envelope carrying ``n_keys`` function keys."""
+    return BATCH_HEADER_BYTES + n_keys * (
+        exponent_size_bytes(params) + vector_length * weight_bytes)
+
+
+def febo_key_batch_request_wire_size(n_requests: int, params: GroupParams,
+                                     weight_bytes: int = 8) -> int:
+    return BATCH_HEADER_BYTES + n_requests * febo_key_request_wire_size(
+        params, weight_bytes)
+
+
+def febo_key_batch_response_wire_size(n_keys: int, params: GroupParams,
+                                      weight_bytes: int = 8) -> int:
+    return BATCH_HEADER_BYTES + n_keys * febo_key_wire_size(
+        params, weight_bytes)
+
+
+def encrypted_sample_wire_size(n_features: int, params: GroupParams) -> int:
+    """One tabular sample: FEIP vector ct plus per-feature FEBO cts."""
+    return ((1 + n_features) * element_size_bytes(params)
+            + n_features * febo_ciphertext_wire_size(params))
+
+
+def encrypted_label_wire_size(num_classes: int, params: GroupParams) -> int:
+    """One one-hot label: FEIP vector ct plus per-class FEBO cts."""
+    return ((1 + num_classes) * element_size_bytes(params)
+            + num_classes * febo_ciphertext_wire_size(params))
+
+
+def encrypted_tabular_wire_size(n_samples: int, n_features: int,
+                                num_classes: int,
+                                params: GroupParams) -> int:
+    """Full client upload (paper: the one-time encrypted-data transfer)."""
+    return n_samples * (encrypted_sample_wire_size(n_features, params)
+                        + encrypted_label_wire_size(num_classes, params))
+
+
+# -- group params / public keys -------------------------------------------------
+
+def group_params_to_dict(params: GroupParams) -> dict[str, Any]:
+    return {"p": params.p, "q": params.q, "g": params.g}
+
+
+def group_params_from_dict(data: dict[str, Any]) -> GroupParams:
+    return GroupParams(p=int(data["p"]), q=int(data["q"]), g=int(data["g"]))
+
+
+def feip_public_key_to_dict(mpk: FeipPublicKey) -> dict[str, Any]:
+    return {"params": group_params_to_dict(mpk.params), "h": list(mpk.h)}
+
+
+def feip_public_key_from_dict(data: dict[str, Any]) -> FeipPublicKey:
+    return FeipPublicKey(params=group_params_from_dict(data["params"]),
+                         h=tuple(int(v) for v in data["h"]))
+
+
+def febo_public_key_to_dict(mpk: FeboPublicKey) -> dict[str, Any]:
+    return {"params": group_params_to_dict(mpk.params), "h": mpk.h}
+
+
+def febo_public_key_from_dict(data: dict[str, Any]) -> FeboPublicKey:
+    return FeboPublicKey(params=group_params_from_dict(data["params"]),
+                         h=int(data["h"]))
+
+
+# -- binary primitives ----------------------------------------------------------
+
+def pack_uint(value: int, width: int) -> bytes:
+    """Fixed-width unsigned big-endian integer (raises on overflow)."""
+    return int(value).to_bytes(width, "big")
+
+
+def unpack_uint(data: bytes) -> int:
+    return int.from_bytes(data, "big")
+
+
+def pack_sint(value: int, width: int) -> bytes:
+    """Fixed-width signed (two's complement) big-endian integer."""
+    return int(value).to_bytes(width, "big", signed=True)
+
+
+def unpack_sint(data: bytes) -> int:
+    return int.from_bytes(data, "big", signed=True)
+
+
+def pack_element(value: int, params: GroupParams) -> bytes:
+    return pack_uint(value, element_size_bytes(params))
+
+
+def pack_exponent(value: int, params: GroupParams) -> bytes:
+    return pack_uint(value, exponent_size_bytes(params))
+
+
+def _chunks(data: bytes, width: int) -> list[bytes]:
+    if width <= 0 or len(data) % width:
+        raise ValueError(
+            f"payload of {len(data)} bytes is not a multiple of {width}")
+    return [data[i:i + width] for i in range(0, len(data), width)]
+
+
+# -- binary public keys / ciphertexts -------------------------------------------
+
+def pack_feip_public_key(mpk: FeipPublicKey) -> bytes:
+    """``mpk = (g, h_1..h_eta)`` as ``(1 + eta)`` fixed-width elements."""
+    params = mpk.params
+    return pack_element(params.g, params) + b"".join(
+        pack_element(h, params) for h in mpk.h)
+
+
+def unpack_feip_public_key(data: bytes, params: GroupParams) -> FeipPublicKey:
+    elements = [unpack_uint(c) for c in _chunks(data, element_size_bytes(params))]
+    if not elements:
+        raise ValueError("empty FEIP public key payload")
+    return FeipPublicKey(params=params, h=tuple(elements[1:]))
+
+
+def pack_febo_public_key(mpk: FeboPublicKey) -> bytes:
+    """``mpk = (g, h)`` as two fixed-width elements."""
+    return pack_element(mpk.params.g, mpk.params) + pack_element(mpk.h, mpk.params)
+
+
+def unpack_febo_public_key(data: bytes, params: GroupParams) -> FeboPublicKey:
+    elements = [unpack_uint(c) for c in _chunks(data, element_size_bytes(params))]
+    if len(elements) != 2:
+        raise ValueError("FEBO public key payload must hold exactly 2 elements")
+    return FeboPublicKey(params=params, h=elements[1])
+
+
+def pack_feip_ciphertext(ct: FeipCiphertext, params: GroupParams) -> bytes:
+    """Exactly :func:`feip_ciphertext_wire_size` bytes."""
+    return pack_element(ct.ct0, params) + b"".join(
+        pack_element(c, params) for c in ct.ct)
+
+
+def unpack_feip_ciphertext(data: bytes, params: GroupParams) -> FeipCiphertext:
+    elements = [unpack_uint(c) for c in _chunks(data, element_size_bytes(params))]
+    if not elements:
+        raise ValueError("empty FEIP ciphertext payload")
+    return FeipCiphertext(ct0=elements[0], ct=tuple(elements[1:]))
+
+
+def pack_febo_ciphertext(ct: FeboCiphertext, params: GroupParams) -> bytes:
+    """Exactly :func:`febo_ciphertext_wire_size` bytes."""
+    return pack_element(ct.cmt, params) + pack_element(ct.ct, params)
+
+
+def unpack_febo_ciphertext(data: bytes, params: GroupParams) -> FeboCiphertext:
+    elements = [unpack_uint(c) for c in _chunks(data, element_size_bytes(params))]
+    if len(elements) != 2:
+        raise ValueError("FEBO ciphertext payload must hold exactly 2 elements")
+    return FeboCiphertext(cmt=elements[0], ct=elements[1])
+
+
+# -- batched key-request/response envelopes -------------------------------------
+
+def pack_batch_header(count: int, vector_length: int = 0) -> bytes:
+    return pack_uint(count, 4) + pack_uint(vector_length, 4)
+
+
+def unpack_batch_header(data: bytes) -> tuple[int, int]:
+    if len(data) < BATCH_HEADER_BYTES:
+        raise ValueError("batch envelope shorter than its header")
+    return unpack_uint(data[:4]), unpack_uint(data[4:8])
+
+
+def pack_feip_key_rows(rows: Sequence[Sequence[int]],
+                       weight_bytes: int = 8) -> bytes:
+    """Concatenated signed weight rows (``n_rows * eta * |w|`` bytes)."""
+    return b"".join(pack_sint(v, weight_bytes) for row in rows for v in row)
+
+
+def unpack_feip_key_rows(data: bytes, count: int, eta: int,
+                         weight_bytes: int = 8) -> list[list[int]]:
+    values = [unpack_sint(c) for c in _chunks(data, weight_bytes)]
+    if len(values) != count * eta:
+        raise ValueError(
+            f"expected {count}x{eta} weights, payload holds {len(values)}")
+    return [values[i * eta:(i + 1) * eta] for i in range(count)]
+
+
+def pack_feip_key_batch_request(rows: Sequence[Sequence[int]],
+                                weight_bytes: int = 8) -> bytes:
+    eta = len(rows[0]) if rows else 0
+    return pack_batch_header(len(rows), eta) + pack_feip_key_rows(
+        rows, weight_bytes)
+
+
+def unpack_feip_key_batch_request(data: bytes,
+                                  weight_bytes: int = 8) -> list[list[int]]:
+    count, eta = unpack_batch_header(data)
+    return unpack_feip_key_rows(data[BATCH_HEADER_BYTES:], count, eta,
+                                weight_bytes)
+
+
+def pack_feip_keys(keys: Sequence[FeipFunctionKey], params: GroupParams,
+                   weight_bytes: int = 8) -> bytes:
+    """Per key: the exponent ``sk`` plus the bound weight vector ``y``."""
+    return b"".join(
+        pack_exponent(key.sk, params)
+        + b"".join(pack_sint(v, weight_bytes) for v in key.y)
+        for key in keys
+    )
+
+
+def unpack_feip_keys(data: bytes, count: int, eta: int, params: GroupParams,
+                     weight_bytes: int = 8) -> list[FeipFunctionKey]:
+    stride = exponent_size_bytes(params) + eta * weight_bytes
+    keys = []
+    for chunk in _chunks(data, stride):
+        sk = unpack_uint(chunk[:exponent_size_bytes(params)])
+        y = tuple(unpack_sint(c)
+                  for c in _chunks(chunk[exponent_size_bytes(params):],
+                                   weight_bytes))
+        keys.append(FeipFunctionKey(y=y, sk=sk))
+    if len(keys) != count:
+        raise ValueError(f"expected {count} FEIP keys, payload holds {len(keys)}")
+    return keys
+
+
+def pack_feip_key_batch_response(keys: Sequence[FeipFunctionKey],
+                                 params: GroupParams,
+                                 weight_bytes: int = 8) -> bytes:
+    eta = len(keys[0].y) if keys else 0
+    return pack_batch_header(len(keys), eta) + pack_feip_keys(
+        keys, params, weight_bytes)
+
+
+def unpack_feip_key_batch_response(data: bytes, params: GroupParams,
+                                   weight_bytes: int = 8
+                                   ) -> list[FeipFunctionKey]:
+    count, eta = unpack_batch_header(data)
+    return unpack_feip_keys(data[BATCH_HEADER_BYTES:], count, eta, params,
+                            weight_bytes)
+
+
+def _pack_op(op: str) -> bytes:
+    encoded = op.encode("ascii")
+    if len(encoded) != 1:
+        raise ValueError(f"operation tag must be one byte, got {op!r}")
+    return encoded
+
+
+def pack_febo_requests(requests: Sequence[tuple[int, str, int]],
+                       params: GroupParams, weight_bytes: int = 8) -> bytes:
+    """Per request: commitment element + 1-byte op tag + signed operand."""
+    return b"".join(
+        pack_element(cmt, params) + _pack_op(op) + pack_sint(y, weight_bytes)
+        for cmt, op, y in requests
+    )
+
+
+def unpack_febo_requests(data: bytes, count: int, params: GroupParams,
+                         weight_bytes: int = 8) -> list[tuple[int, str, int]]:
+    stride = febo_key_request_wire_size(params, weight_bytes)
+    elem = element_size_bytes(params)
+    requests = []
+    for chunk in _chunks(data, stride):
+        requests.append((
+            unpack_uint(chunk[:elem]),
+            chunk[elem:elem + 1].decode("ascii"),
+            unpack_sint(chunk[elem + 1:]),
+        ))
+    if len(requests) != count:
+        raise ValueError(
+            f"expected {count} FEBO requests, payload holds {len(requests)}")
+    return requests
+
+
+def pack_febo_key_batch_request(requests: Sequence[tuple[int, str, int]],
+                                params: GroupParams,
+                                weight_bytes: int = 8) -> bytes:
+    return pack_batch_header(len(requests)) + pack_febo_requests(
+        requests, params, weight_bytes)
+
+
+def unpack_febo_key_batch_request(data: bytes, params: GroupParams,
+                                  weight_bytes: int = 8
+                                  ) -> list[tuple[int, str, int]]:
+    count, _ = unpack_batch_header(data)
+    return unpack_febo_requests(data[BATCH_HEADER_BYTES:], count, params,
+                                weight_bytes)
+
+
+def pack_febo_keys(keys: Sequence[FeboFunctionKey], params: GroupParams,
+                   weight_bytes: int = 8) -> bytes:
+    """Per key: ``sk`` element + 1-byte op tag + signed operand.
+
+    The per-ciphertext commitment is *not* shipped back -- the requester
+    already knows which commitment each key answers (responses preserve
+    request order) and re-attaches it locally.
+    """
+    return b"".join(
+        pack_element(key.sk, params) + _pack_op(key.op)
+        + pack_sint(key.y, weight_bytes)
+        for key in keys
+    )
+
+
+def unpack_febo_keys(data: bytes, count: int, params: GroupParams,
+                     weight_bytes: int = 8) -> list[FeboFunctionKey]:
+    stride = febo_key_wire_size(params, weight_bytes)
+    elem = element_size_bytes(params)
+    keys = []
+    for chunk in _chunks(data, stride):
+        keys.append(FeboFunctionKey(
+            op=chunk[elem:elem + 1].decode("ascii"),
+            y=unpack_sint(chunk[elem + 1:]),
+            sk=unpack_uint(chunk[:elem]),
+        ))
+    if len(keys) != count:
+        raise ValueError(f"expected {count} FEBO keys, payload holds {len(keys)}")
+    return keys
+
+
+def pack_febo_key_batch_response(keys: Sequence[FeboFunctionKey],
+                                 params: GroupParams,
+                                 weight_bytes: int = 8) -> bytes:
+    return pack_batch_header(len(keys)) + pack_febo_keys(
+        keys, params, weight_bytes)
+
+
+def unpack_febo_key_batch_response(data: bytes, params: GroupParams,
+                                   weight_bytes: int = 8
+                                   ) -> list[FeboFunctionKey]:
+    count, _ = unpack_batch_header(data)
+    return unpack_febo_keys(data[BATCH_HEADER_BYTES:], count, params,
+                            weight_bytes)

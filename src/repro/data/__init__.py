@@ -8,7 +8,13 @@ binary-classification data motivating the paper's introduction.
 """
 
 from repro.data.datasets import Dataset, train_test_split
-from repro.data.preprocess import LabelMapper, flatten_images, one_hot
+from repro.data.preprocess import (
+    LabelMapper,
+    flatten_images,
+    normalize_features,
+    one_hot,
+    shared_feature_scale,
+)
 from repro.data.synth_digits import load_synth_digits, render_digit
 from repro.data.tabular import load_clinics
 
@@ -18,7 +24,9 @@ __all__ = [
     "flatten_images",
     "load_clinics",
     "load_synth_digits",
+    "normalize_features",
     "one_hot",
     "render_digit",
+    "shared_feature_scale",
     "train_test_split",
 ]

@@ -34,6 +34,22 @@ def flatten_images(images: np.ndarray) -> np.ndarray:
     return images.reshape(images.shape[0], -1)
 
 
+def shared_feature_scale(features: list[np.ndarray]) -> float:
+    """Global max-abs over all shards (plus epsilon against all-zeros).
+
+    Multi-source training requires every client to scale its features
+    identically -- encrypted shards cannot be re-normalized server-side
+    -- so the scale must be agreed from the union of shards, not
+    per-client.  Distribute the result alongside the public parameters.
+    """
+    return max(float(np.abs(x).max()) for x in features) + 1e-9
+
+
+def normalize_features(x: np.ndarray, scale: float) -> np.ndarray:
+    """Scale features into [-1, 1] with an agreed shared scale."""
+    return np.clip(np.asarray(x, dtype=np.float64) / scale, -1.0, 1.0)
+
+
 class LabelMapper:
     """Secret random permutation of class labels, shared by data owners.
 

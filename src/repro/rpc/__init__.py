@@ -1,0 +1,65 @@
+"""Networked runtime: asyncio RPC services for the CryptoNN entities.
+
+The paper's pitch against SMC-based training is its communication
+profile -- per-iteration key request/response round trips instead of
+multi-round interactive protocols (Section IV-B2).  This package gives
+the three entities a *real* transport so that profile carries actual
+bytes between actual processes:
+
+* :mod:`repro.rpc.framing` -- length-prefixed binary frames over
+  asyncio TCP streams;
+* :mod:`repro.rpc.messages` -- typed request/response messages mapped
+  1:1 onto the :mod:`repro.core.protocol` kinds, bodies packed by
+  :mod:`repro.core.serialization` so traffic accounting is byte-exact;
+* :mod:`repro.rpc.authority_service` -- the authority key service;
+* :mod:`repro.rpc.training_service` -- the training server, driving
+  :class:`~repro.core.cryptonn.CryptoNNTrainer` over the wire;
+* :mod:`repro.rpc.client` -- sync endpoint facade and the
+  :class:`RemoteAuthority` drop-in for trainers and clients;
+* :mod:`repro.rpc.client_agent` -- encrypt-and-upload for data owners;
+* :mod:`repro.rpc.runtime` -- service-hosting helpers for tests,
+  examples and the CLI.
+
+Per-iteration key requests are batched into one framed envelope by
+default (``CryptoNNConfig.batch_key_requests``), collapsing the
+k x n x |w| request fan-out into a single round trip.
+"""
+
+from repro.rpc.authority_service import AuthorityService, run_authority_service
+from repro.rpc.client import (
+    RemoteAuthority,
+    RpcEndpoint,
+    RpcError,
+    RpcRemoteError,
+    RpcTimeoutError,
+)
+from repro.rpc.client_agent import fetch_status, upload_shard
+from repro.rpc.framing import MAX_FRAME_BYTES, FrameError
+from repro.rpc.messages import WireContext
+from repro.rpc.runtime import ServiceThread, free_port, wait_for_port
+from repro.rpc.training_service import (
+    TrainingService,
+    build_mlp,
+    run_training,
+)
+
+__all__ = [
+    "AuthorityService",
+    "FrameError",
+    "MAX_FRAME_BYTES",
+    "RemoteAuthority",
+    "RpcEndpoint",
+    "RpcError",
+    "RpcRemoteError",
+    "RpcTimeoutError",
+    "ServiceThread",
+    "TrainingService",
+    "WireContext",
+    "build_mlp",
+    "fetch_status",
+    "free_port",
+    "run_authority_service",
+    "run_training",
+    "upload_shard",
+    "wait_for_port",
+]

@@ -1,0 +1,112 @@
+"""The authority key service: CryptoNN's trusted authority behind a socket.
+
+Wraps a :class:`~repro.core.entities.TrustedAuthority` in an asyncio TCP
+server speaking the framed message protocol.  The service answers
+
+* ``public-params`` -- group parameters, config, and public keys;
+* ``feip-key-request`` / ``feip-key-batch-request`` -- inner-product
+  function keys for weight rows (the per-iteration exchange of Section
+  IV-B2);
+* ``febo-key-request`` / ``febo-key-batch-request`` -- per-ciphertext
+  basic-operation keys.
+
+Master secrets never cross the wire: only derived function keys and
+public keys do, exactly as the paper's architecture (Fig. 1) requires.
+Policy and permitted-op checks run inside the wrapped authority, so a
+rejected request comes back as an ``error`` frame carrying the original
+exception type.  Each connection gets its own
+:class:`~repro.core.protocol.TrafficLog` whose byte counts equal the
+:mod:`repro.core.serialization` wire sizes by construction.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+
+from repro.core import protocol
+from repro.core.entities import TrustedAuthority
+from repro.rpc.framing import MAX_FRAME_BYTES
+from repro.rpc.messages import (
+    ErrorMessage,
+    FeboKeyRequest,
+    FeboKeyResponse,
+    FeipKeyRequest,
+    FeipKeyResponse,
+    PublicParamsRequest,
+    PublicParamsResponse,
+    WireContext,
+)
+from repro.rpc.service import FramedService
+
+
+class AuthorityService(FramedService):
+    """Asyncio TCP server answering key requests from clients and servers."""
+
+    entity_name = protocol.AUTHORITY
+
+    def __init__(self, authority: TrustedAuthority, host: str = "127.0.0.1",
+                 port: int = 0, *, max_frame_bytes: int = MAX_FRAME_BYTES):
+        super().__init__(host, port, max_frame_bytes=max_frame_bytes)
+        self.authority = authority
+        # derivations run off-loop (paper-scale groups take real CPU
+        # time) but strictly one at a time: TrustedAuthority mutates
+        # shared state (key pairs, counters, traffic) un-locked
+        self._derive_lock = asyncio.Lock()
+
+    async def _wire_context(self) -> WireContext:
+        return WireContext(self.authority.params,
+                           self.authority.config.key_weight_bytes)
+
+    async def _dispatch(self, msg, sender: str):
+        async with self._derive_lock:
+            return await asyncio.to_thread(self._dispatch_sync, msg, sender)
+
+    def _dispatch_sync(self, msg, sender: str):
+        if isinstance(msg, PublicParamsRequest):
+            feip_keys = {int(eta): self.authority.feip_public_key(int(eta))
+                         for eta in msg.etas}
+            febo_key = (self.authority.febo_public_key()
+                        if msg.include_febo else None)
+            return PublicParamsResponse(
+                group=self.authority.params,
+                config=dataclasses.asdict(self.authority.config),
+                feip_keys=feip_keys,
+                febo_key=febo_key,
+            )
+        if isinstance(msg, FeipKeyRequest):
+            derive = (self.authority.derive_feip_keys_batch if msg.batched
+                      else self.authority.derive_feip_keys)
+            return FeipKeyResponse(keys=derive(msg.rows, sender),
+                                   batched=msg.batched)
+        if isinstance(msg, FeboKeyRequest):
+            derive = (self.authority.derive_febo_keys_batch if msg.batched
+                      else self.authority.derive_febo_keys)
+            return FeboKeyResponse(keys=derive(msg.requests, sender),
+                                   batched=msg.batched)
+        return ErrorMessage(
+            message=f"authority service cannot answer {msg.kind!r}",
+            error_type="UnsupportedMessage")
+
+
+def run_authority_service(authority: TrustedAuthority, host: str = "127.0.0.1",
+                          port: int = 0, *, announce=print) -> None:
+    """Blocking entry point: serve until interrupted (CLI helper)."""
+    service = AuthorityService(authority, host, port)
+
+    async def _run() -> None:
+        bound_host, bound_port = await service.start()
+        if announce is not None:
+            announce(f"authority key service listening on "
+                     f"{bound_host}:{bound_port}")
+        try:
+            await service.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await service.stop()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        pass

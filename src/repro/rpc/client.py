@@ -1,0 +1,378 @@
+"""Client-side RPC: a sync endpoint facade and the remote-authority stub.
+
+The trainers, secure layers and :class:`~repro.core.entities.Client` are
+synchronous, so :class:`RpcEndpoint` runs its asyncio connection on a
+dedicated background event-loop thread and exposes a blocking
+``request()`` with timeouts and transparent reconnect-and-retry.  Key
+derivation is deterministic on the authority side, so resending a key
+request after a transport failure is idempotent.
+
+:class:`RemoteAuthority` is a drop-in replacement for
+:class:`~repro.core.entities.TrustedAuthority` from the requester's
+point of view: same ``params`` / ``config`` / ``feip`` / ``febo`` /
+``traffic`` attributes, same public-key accessors, same
+``derive_*_keys`` methods -- but every key request crosses a real
+socket.  Master secrets never leave the authority process.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import random
+import threading
+import time
+
+from repro.core import protocol
+from repro.core.protocol import TrafficLog
+from repro.fe.febo import Febo
+from repro.fe.feip import Feip
+from repro.fe.keys import FeboFunctionKey, FeboPublicKey, FeipPublicKey
+from repro.rpc.framing import (
+    MAX_FRAME_BYTES,
+    FrameError,
+    encode_frame,
+    read_frame,
+)
+from repro.rpc.messages import (
+    ErrorMessage,
+    FeboKeyRequest,
+    FeipKeyRequest,
+    PublicParamsRequest,
+    WireContext,
+    decode_message,
+    encode_message,
+)
+
+
+class RpcError(Exception):
+    """Transport-level RPC failure that exhausted its retries."""
+
+
+class RpcTimeoutError(RpcError):
+    """A request that did not complete within its deadline."""
+
+
+class RpcRemoteError(RpcError):
+    """The peer answered with an error frame (not retried)."""
+
+    def __init__(self, message: str, error_type: str = "RpcError"):
+        super().__init__(f"{error_type}: {message}")
+        self.error_type = error_type
+        self.remote_message = message
+
+
+class RpcEndpoint:
+    """One logical connection to an RPC service, usable from sync code.
+
+    Requests are serialized per endpoint (one in flight at a time, which
+    is all the strict request/response protocol allows per connection).
+    Transport failures trigger a reconnect and one resend per remaining
+    retry; remote error frames raise immediately.
+
+    Every exchanged message is recorded in ``traffic`` with its body
+    length -- identical to the serialization wire sizes by construction.
+    """
+
+    def __init__(self, host: str, port: int, *, name: str = protocol.CLIENT,
+                 peer: str = "service", timeout: float = 60.0,
+                 connect_timeout: float = 10.0, retries: int = 1,
+                 traffic: TrafficLog | None = None,
+                 max_frame_bytes: int = MAX_FRAME_BYTES):
+        self.host = host
+        self.port = port
+        self.name = name
+        self.peer = peer
+        self.timeout = timeout
+        self.connect_timeout = connect_timeout
+        self.retries = retries
+        self.traffic = traffic if traffic is not None else TrafficLog()
+        self.max_frame_bytes = max_frame_bytes
+        self._lock = threading.Lock()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._seq = 0
+        self._closed = False
+
+    # -- event-loop plumbing -------------------------------------------------
+    def _ensure_loop(self) -> asyncio.AbstractEventLoop:
+        if self._closed:
+            # never resurrect a loop thread after close(); a racing
+            # caller must fail, not leak a new thread
+            raise RpcError(
+                f"endpoint to {self.peer} at {self.host}:{self.port} "
+                f"is closed")
+        if self._loop is None or not self._thread or not self._thread.is_alive():
+            loop = asyncio.new_event_loop()
+            thread = threading.Thread(
+                target=loop.run_forever,
+                name=f"rpc-{self.name}->{self.peer}", daemon=True)
+            thread.start()
+            self._loop, self._thread = loop, thread
+        return self._loop
+
+    def _run(self, coro, timeout: float):
+        future = asyncio.run_coroutine_threadsafe(coro, self._ensure_loop())
+        deadline = time.monotonic() + timeout
+        while True:
+            # wait in short slices, watching for close(): if another
+            # thread tears the endpoint down (service shutdown) the
+            # loop may stop before our task even starts, so relying on
+            # task cancellation alone can strand this waiter for the
+            # full timeout
+            try:
+                return future.result(min(0.1, timeout))
+            except concurrent.futures.TimeoutError:
+                if self._closed:
+                    future.cancel()
+                    raise RpcError(
+                        f"endpoint to {self.peer} at "
+                        f"{self.host}:{self.port} was closed mid-request"
+                    ) from None
+                if time.monotonic() >= deadline:
+                    future.cancel()
+                    raise RpcTimeoutError(
+                        f"{self.peer} at {self.host}:{self.port} did not "
+                        f"answer within {timeout}s") from None
+            except concurrent.futures.CancelledError:
+                raise RpcError(
+                    f"endpoint to {self.peer} at {self.host}:{self.port} "
+                    f"was closed mid-request") from None
+
+    # -- connection management -----------------------------------------------
+    @property
+    def connected(self) -> bool:
+        return self._writer is not None
+
+    def connect(self) -> None:
+        """Connect, retrying until ``connect_timeout`` (the service may
+        still be binding its socket when a client process starts)."""
+        if self._closed:
+            raise RpcError(
+                f"endpoint to {self.peer} at {self.host}:{self.port} "
+                f"is closed")
+        if self.connected:
+            return
+        deadline = time.monotonic() + self.connect_timeout
+        while True:
+            if self._closed:  # closed by another thread mid-retry
+                raise RpcError(
+                    f"endpoint to {self.peer} at {self.host}:{self.port} "
+                    f"is closed")
+            try:
+                self._reader, self._writer = self._run(
+                    asyncio.open_connection(self.host, self.port),
+                    self.connect_timeout)
+                return
+            except (ConnectionError, OSError) as exc:
+                if time.monotonic() >= deadline:
+                    raise RpcError(
+                        f"cannot reach {self.peer} at "
+                        f"{self.host}:{self.port}: {exc}") from exc
+                time.sleep(0.05)
+
+    def _drop_connection(self) -> None:
+        writer, self._reader, self._writer = self._writer, None, None
+        if writer is not None and self._loop is not None:
+            def _close():
+                try:
+                    writer.close()
+                except Exception:
+                    pass
+            self._loop.call_soon_threadsafe(_close)
+
+    def close(self) -> None:
+        """Terminal: later requests raise instead of reconnecting.
+
+        In-flight requests (e.g. a training thread blocked on a key
+        request from another thread) are cancelled so their callers fail
+        fast rather than waiting out their full timeout.
+        """
+        self._closed = True
+        self._drop_connection()
+        loop, thread = self._loop, self._thread
+        self._loop, self._thread = None, None
+        if loop is not None:
+            def _shutdown() -> None:
+                for task in asyncio.all_tasks(loop):
+                    task.cancel()
+                loop.call_soon(loop.stop)
+            loop.call_soon_threadsafe(_shutdown)
+        if thread is not None:
+            thread.join(timeout=5)
+
+    def __enter__(self) -> "RpcEndpoint":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- request/response ----------------------------------------------------
+    async def _send_recv(self, frame_bytes: bytes):
+        # capture locally: a concurrent close() nulls the attributes,
+        # and that must surface as a (retried/translated) connection
+        # error, not an AttributeError
+        reader, writer = self._reader, self._writer
+        if reader is None or writer is None:
+            raise ConnectionError("connection dropped before send")
+        writer.write(frame_bytes)
+        await writer.drain()
+        frame = await read_frame(reader, self.max_frame_bytes)
+        if frame is None:
+            raise ConnectionError(f"{self.peer} closed the connection")
+        return frame
+
+    def request(self, msg, ctx: WireContext | None = None):
+        """Send one message, return the decoded response (blocking)."""
+        with self._lock:
+            if self._closed:
+                raise RpcError(
+                    f"endpoint to {self.peer} at {self.host}:{self.port} "
+                    f"is closed")
+            header, body = encode_message(msg, ctx)
+            self._seq += 1
+            header["seq"] = self._seq
+            # encode once, checking the size limit BEFORE any bytes move
+            # -- an oversized frame fails fast with the real reason
+            # instead of burning retries on receiver-side drops
+            frame_bytes = encode_frame(header, body, self.max_frame_bytes)
+            last_exc: Exception | None = None
+            for _ in range(self.retries + 1):
+                try:
+                    if not self.connected:
+                        self.connect()
+                    resp_header, resp_body = self._run(
+                        self._send_recv(frame_bytes), self.timeout)
+                except (ConnectionError, OSError, FrameError,
+                        RpcTimeoutError) as exc:
+                    self._drop_connection()
+                    last_exc = exc
+                    continue
+                self.traffic.record(self.name, self.peer, header["kind"],
+                                    len(body))
+                self.traffic.record(self.peer, self.name,
+                                    str(resp_header.get("kind")),
+                                    len(resp_body))
+                resp = decode_message(resp_header, resp_body, ctx)
+                if isinstance(resp, ErrorMessage):
+                    raise RpcRemoteError(resp.message, resp.error_type)
+                if resp_header.get("seq") != header["seq"]:
+                    self._drop_connection()
+                    raise RpcError(
+                        f"out-of-sequence response from {self.peer} "
+                        f"(sent {header['seq']}, "
+                        f"got {resp_header.get('seq')})")
+                return resp
+            raise RpcError(
+                f"request {header['kind']!r} to {self.peer} at "
+                f"{self.host}:{self.port} failed after "
+                f"{self.retries + 1} attempts: {last_exc}") from last_exc
+
+
+class RemoteAuthority:
+    """Networked stand-in for :class:`~repro.core.entities.TrustedAuthority`.
+
+    On construction it performs the ``public-params`` handshake: group
+    parameters and the authority's config come over the wire, local
+    :class:`Feip` / :class:`Febo` instances are built for the public
+    operations (encrypt / decrypt_raw need no secrets), and public keys
+    are fetched lazily per vector length and cached.
+    """
+
+    def __init__(self, host: str, port: int, *, name: str = protocol.SERVER,
+                 rng: random.Random | None = None, timeout: float = 120.0,
+                 connect_timeout: float = 10.0, retries: int = 1):
+        self.endpoint = RpcEndpoint(
+            host, port, name=name, peer=protocol.AUTHORITY, timeout=timeout,
+            connect_timeout=connect_timeout, retries=retries)
+        self.name = name
+        try:
+            resp = self.endpoint.request(PublicParamsRequest(
+                etas=(), include_febo=True, requester=name))
+        except BaseException:
+            # a failed handshake must not leak the endpoint's loop thread
+            self.endpoint.close()
+            raise
+        self.params = resp.group
+        self.config = resp.make_config()
+        self._ctx = WireContext(self.params, self.config.key_weight_bytes)
+        self.feip = Feip(self.params, rng=rng)
+        self.febo = Febo(self.params, rng=rng)
+        self._feip_mpks: dict[int, FeipPublicKey] = dict(resp.feip_keys)
+        self._febo_mpk: FeboPublicKey | None = resp.febo_key
+
+    @property
+    def traffic(self) -> TrafficLog:
+        return self.endpoint.traffic
+
+    @property
+    def wire_ctx(self) -> WireContext:
+        """Decode context (group widths) for talking to other services."""
+        return self._ctx
+
+    # -- public keys ---------------------------------------------------------
+    def feip_public_key(self, eta: int) -> FeipPublicKey:
+        if eta not in self._feip_mpks:
+            resp = self.endpoint.request(
+                PublicParamsRequest(etas=(eta,), include_febo=False,
+                                    requester=self.name),
+                self._ctx)
+            self._feip_mpks[eta] = resp.feip_keys[eta]
+        return self._feip_mpks[eta]
+
+    def febo_public_key(self) -> FeboPublicKey:
+        if self._febo_mpk is None:
+            resp = self.endpoint.request(
+                PublicParamsRequest(etas=(), include_febo=True,
+                                    requester=self.name),
+                self._ctx)
+            self._febo_mpk = resp.febo_key
+        return self._febo_mpk
+
+    # -- function keys -------------------------------------------------------
+    def _feip_request(self, rows, batched: bool):
+        if not rows:
+            return []
+        rows = [[int(v) for v in row] for row in rows]
+        resp = self.endpoint.request(
+            FeipKeyRequest(rows=rows, batched=batched, requester=self.name),
+            self._ctx)
+        return resp.keys
+
+    def derive_feip_keys(self, rows, requester: str | None = None):
+        return self._feip_request(rows, batched=False)
+
+    def derive_feip_keys_batch(self, rows, requester: str | None = None):
+        return self._feip_request(rows, batched=True)
+
+    def _febo_request(self, requests, batched: bool):
+        if not requests:
+            return []
+        requests = [(int(cmt), str(op), int(y)) for cmt, op, y in requests]
+        resp = self.endpoint.request(
+            FeboKeyRequest(requests=requests, batched=batched,
+                           requester=self.name),
+            self._ctx)
+        # the wire drops per-key commitments (the requester knows them);
+        # re-attach so decrypt-time consistency checks stay armed
+        return [
+            FeboFunctionKey(op=key.op, y=key.y, sk=key.sk, cmt=cmt)
+            for key, (cmt, _, _) in zip(resp.keys, requests)
+        ]
+
+    def derive_febo_keys(self, requests, requester: str | None = None):
+        return self._febo_request(requests, batched=False)
+
+    def derive_febo_keys_batch(self, requests, requester: str | None = None):
+        return self._febo_request(requests, batched=True)
+
+    def close(self) -> None:
+        self.endpoint.close()
+
+    def __enter__(self) -> "RemoteAuthority":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,69 @@
+"""The client agent: encrypt locally, upload over the wire.
+
+A data owner's whole interaction with the networked runtime:
+
+1. handshake with the authority key service (public params + keys),
+2. encrypt its shard locally with :class:`~repro.core.entities.Client`
+   (plaintext never leaves the process),
+3. ship the encrypted dataset to the training server in one
+   ``encrypted-data`` frame and wait for the acknowledgement.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+from repro.core import protocol
+from repro.core.entities import Client
+from repro.data.preprocess import LabelMapper
+from repro.rpc.client import RemoteAuthority, RpcEndpoint
+from repro.rpc.messages import Ack, EncryptedDataUpload, TrainStatusRequest
+
+
+def upload_shard(authority_address: tuple[str, int],
+                 server_address: tuple[str, int],
+                 features: np.ndarray, labels: np.ndarray, num_classes: int,
+                 *, name: str = protocol.CLIENT,
+                 label_mapper: LabelMapper | None = None,
+                 rng: random.Random | None = None,
+                 timeout: float = 120.0) -> dict:
+    """Encrypt one shard and deliver it to the training server.
+
+    Returns a summary with the server's acknowledgement and the byte
+    count that crossed each connection.
+    """
+    with RemoteAuthority(*authority_address, name=name, rng=rng,
+                         timeout=timeout) as authority:
+        client = Client(authority, label_mapper=label_mapper, name=name)
+        dataset = client.encrypt_tabular(features, labels, num_classes)
+        with RpcEndpoint(*server_address, name=name, peer=protocol.SERVER,
+                         timeout=timeout) as server:
+            ack = server.request(
+                EncryptedDataUpload(dataset=dataset, client_name=name),
+                authority.wire_ctx)
+            if not isinstance(ack, Ack):
+                raise TypeError(f"expected an ack, got {ack.kind!r}")
+            upload_bytes = server.traffic.total_bytes(
+                sender=name, kind=protocol.KIND_ENCRYPTED_DATA)
+        return {
+            "name": name,
+            "n_samples": len(dataset),
+            "ack": ack.info,
+            "upload_bytes": upload_bytes,
+            # only what actually crossed the authority socket --
+            # Client.encrypt_tabular also logs the logical
+            # client->server upload record into this TrafficLog, which
+            # belongs to the server connection, not this one
+            "authority_bytes": authority.traffic.total_bytes(
+                sender=name, receiver=protocol.AUTHORITY),
+        }
+
+
+def fetch_status(server_address: tuple[str, int], *,
+                 name: str = protocol.CLIENT, timeout: float = 30.0):
+    """One-shot ``train-status`` query against a training server."""
+    with RpcEndpoint(*server_address, name=name, peer=protocol.SERVER,
+                     timeout=timeout) as server:
+        return server.request(TrainStatusRequest(requester=name))

@@ -1,0 +1,103 @@
+"""Length-prefixed binary framing over asyncio streams.
+
+Every RPC frame is::
+
+    [4-byte frame length L][4-byte header length H][H bytes JSON header]
+    [L - 4 - H bytes binary body]
+
+The JSON header carries the message kind plus small metadata (counts,
+vector lengths, sequence numbers); the body is the byte-accurate binary
+payload produced by :mod:`repro.core.serialization`, so ``len(body)``
+equals the wire-size formulas the traffic accounting uses.  The frame
+length excludes its own 4-byte prefix and is bounded by
+``max_frame_bytes`` so a corrupt or hostile peer cannot make a service
+allocate unbounded memory.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from typing import Any
+
+#: Default ceiling on one frame.  Encrypted-dataset uploads dominate; a
+#: 256-bit group with thousands of samples stays well below this.
+MAX_FRAME_BYTES = 128 * 1024 * 1024
+
+_LEN = struct.Struct(">I")
+
+
+class FrameError(Exception):
+    """A malformed, truncated, or oversized frame."""
+
+
+def encode_frame(header: dict[str, Any], body: bytes = b"",
+                 max_frame_bytes: int | None = None) -> bytes:
+    """Serialize one frame to bytes (the sans-IO core of the framing).
+
+    Passing ``max_frame_bytes`` makes oversized frames fail *before*
+    anything is sent -- the sender gets the real reason instead of the
+    receiver silently dropping the connection mid-transfer.
+    """
+    header_bytes = json.dumps(
+        header, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    total = 4 + len(header_bytes) + len(body)
+    if max_frame_bytes is not None and total > max_frame_bytes:
+        raise FrameError(
+            f"frame of {total} bytes exceeds limit {max_frame_bytes} "
+            f"(kind {header.get('kind')!r}); raise max_frame_bytes or "
+            f"split the payload")
+    return _LEN.pack(total) + _LEN.pack(len(header_bytes)) + header_bytes + body
+
+
+def decode_frame_payload(payload: bytes) -> tuple[dict[str, Any], bytes]:
+    """Split a frame payload (everything after the length prefix)."""
+    if len(payload) < 4:
+        raise FrameError("frame payload shorter than its header prefix")
+    header_len = _LEN.unpack(payload[:4])[0]
+    if header_len > len(payload) - 4:
+        raise FrameError(
+            f"header length {header_len} exceeds frame payload "
+            f"({len(payload) - 4} bytes)")
+    try:
+        header = json.loads(payload[4:4 + header_len].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise FrameError(f"undecodable frame header: {exc}") from exc
+    if not isinstance(header, dict):
+        raise FrameError("frame header must be a JSON object")
+    return header, payload[4 + header_len:]
+
+
+async def write_frame(writer: asyncio.StreamWriter, header: dict[str, Any],
+                      body: bytes = b"") -> None:
+    """Write one frame and drain the transport."""
+    writer.write(encode_frame(header, body))
+    await writer.drain()
+
+
+async def read_frame(reader: asyncio.StreamReader,
+                     max_frame_bytes: int = MAX_FRAME_BYTES
+                     ) -> tuple[dict[str, Any], bytes] | None:
+    """Read one frame; ``None`` on clean EOF at a frame boundary.
+
+    Raises:
+        FrameError: truncated mid-frame, oversized, or undecodable.
+    """
+    try:
+        prefix = await reader.readexactly(4)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise FrameError("connection closed mid frame-length") from exc
+    total = _LEN.unpack(prefix)[0]
+    if total < 4:
+        raise FrameError(f"frame length {total} below header prefix size")
+    if total > max_frame_bytes:
+        raise FrameError(
+            f"frame of {total} bytes exceeds limit {max_frame_bytes}")
+    try:
+        payload = await reader.readexactly(total)
+    except asyncio.IncompleteReadError as exc:
+        raise FrameError("connection closed mid frame") from exc
+    return decode_frame_payload(payload)

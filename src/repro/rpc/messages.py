@@ -1,0 +1,589 @@
+"""Typed RPC request/response messages.
+
+Each message maps 1:1 onto a :mod:`repro.core.protocol` message kind
+(``public-params``, ``encrypted-data``, ``feip-key-request/-response``,
+``febo-key-request/-response`` plus their batched envelope variants) or
+onto one of the small control kinds the services add (``ack``,
+``error``, ``train-*``, ``predict-*``).
+
+A message serializes to a JSON *header* (kind + counts + metadata) and a
+binary *body* packed by :mod:`repro.core.serialization`, so the body
+length of every key/data message equals the wire-size formulas used for
+traffic accounting -- what the :class:`~repro.core.protocol.TrafficLog`
+records is what crossed the socket.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, ClassVar
+
+import numpy as np
+
+from repro.core import protocol
+from repro.core import serialization as ser
+from repro.core.config import CryptoNNConfig
+from repro.core.encdata import (
+    EncryptedLabel,
+    EncryptedSample,
+    EncryptedTabularDataset,
+)
+from repro.fe.keys import (
+    FeboFunctionKey,
+    FeboPublicKey,
+    FeipFunctionKey,
+    FeipPublicKey,
+)
+from repro.mathutils.group import GroupParams
+
+# Control kinds (not part of the paper's protocol accounting).
+KIND_PUBLIC_PARAMS_RESPONSE = "public-params-response"
+KIND_ACK = "ack"
+KIND_ERROR = "error"
+KIND_TRAIN_START = "train-start"
+KIND_TRAIN_STATUS = "train-status"
+KIND_TRAIN_STATUS_RESPONSE = "train-status-response"
+KIND_PREDICT_REQUEST = "predict-request"
+KIND_PREDICT_RESPONSE = "predict-response"
+
+
+class MessageError(Exception):
+    """A message that cannot be encoded or decoded."""
+
+
+@dataclasses.dataclass(frozen=True)
+class WireContext:
+    """Decode context: group parameters fix every field width."""
+
+    params: GroupParams
+    weight_bytes: int = 8
+
+
+_REGISTRY: dict[str, type] = {}
+
+
+def _register(*kinds: str):
+    def deco(cls):
+        for kind in kinds:
+            _REGISTRY[kind] = cls
+        return cls
+    return deco
+
+
+def encode_message(msg, ctx: WireContext | None = None
+                   ) -> tuple[dict[str, Any], bytes]:
+    header = {"kind": msg.kind, **msg.header()}
+    return header, msg.body(ctx)
+
+
+def decode_message(header: dict[str, Any], body: bytes,
+                   ctx: WireContext | None = None):
+    kind = header.get("kind")
+    cls = _REGISTRY.get(kind)
+    if cls is None:
+        raise MessageError(f"unknown message kind {kind!r}")
+    try:
+        return cls.from_wire(header, body, ctx)
+    except MessageError:
+        raise
+    except (KeyError, ValueError, TypeError, OverflowError) as exc:
+        raise MessageError(f"malformed {kind!r} message: {exc}") from exc
+
+
+def _require_ctx(ctx: WireContext | None) -> WireContext:
+    if ctx is None:
+        raise MessageError("message requires group parameters to (de)code")
+    return ctx
+
+
+# -- handshake -------------------------------------------------------------------
+
+@_register(protocol.KIND_PUBLIC_PARAMS)
+@dataclasses.dataclass
+class PublicParamsRequest:
+    """Ask the authority for group params, config, and public keys.
+
+    ``etas`` lists the FEIP vector lengths whose master public keys the
+    caller wants; ``include_febo`` additionally requests the FEBO key.
+    """
+
+    etas: tuple[int, ...] = ()
+    include_febo: bool = True
+    requester: str = protocol.CLIENT
+
+    kind: ClassVar[str] = protocol.KIND_PUBLIC_PARAMS
+
+    def header(self) -> dict[str, Any]:
+        return {"etas": list(self.etas), "febo": self.include_febo,
+                "from": self.requester}
+
+    def body(self, ctx: WireContext | None = None) -> bytes:
+        return b""
+
+    @classmethod
+    def from_wire(cls, header, body, ctx):
+        return cls(etas=tuple(int(e) for e in header.get("etas", [])),
+                   include_febo=bool(header.get("febo", True)),
+                   requester=str(header.get("from", protocol.CLIENT)))
+
+
+@_register(KIND_PUBLIC_PARAMS_RESPONSE)
+@dataclasses.dataclass
+class PublicParamsResponse:
+    """Group params + config in the header; packed public keys in the body."""
+
+    group: GroupParams
+    config: dict[str, Any]
+    feip_keys: dict[int, FeipPublicKey] = dataclasses.field(default_factory=dict)
+    febo_key: FeboPublicKey | None = None
+
+    kind: ClassVar[str] = KIND_PUBLIC_PARAMS_RESPONSE
+
+    def header(self) -> dict[str, Any]:
+        return {"group": ser.group_params_to_dict(self.group),
+                "config": self.config,
+                "etas": sorted(self.feip_keys),
+                "febo": self.febo_key is not None}
+
+    def body(self, ctx: WireContext | None = None) -> bytes:
+        parts = [ser.pack_feip_public_key(self.feip_keys[eta])
+                 for eta in sorted(self.feip_keys)]
+        if self.febo_key is not None:
+            parts.append(ser.pack_febo_public_key(self.febo_key))
+        return b"".join(parts)
+
+    @classmethod
+    def from_wire(cls, header, body, ctx):
+        group = ser.group_params_from_dict(header["group"])
+        elem = ser.element_size_bytes(group)
+        offset = 0
+        feip_keys: dict[int, FeipPublicKey] = {}
+        for eta in header.get("etas", []):
+            eta = int(eta)
+            size = (1 + eta) * elem
+            feip_keys[eta] = ser.unpack_feip_public_key(
+                body[offset:offset + size], group)
+            offset += size
+        febo_key = None
+        if header.get("febo"):
+            febo_key = ser.unpack_febo_public_key(
+                body[offset:offset + 2 * elem], group)
+            offset += 2 * elem
+        if offset != len(body):
+            raise MessageError(
+                f"public-params body holds {len(body)} bytes, parsed {offset}")
+        return cls(group=group, config=dict(header.get("config", {})),
+                   feip_keys=feip_keys, febo_key=febo_key)
+
+    def make_config(self) -> CryptoNNConfig:
+        """Rebuild the authority's config (unknown fields ignored)."""
+        fields = {f.name for f in dataclasses.fields(CryptoNNConfig)}
+        return CryptoNNConfig(
+            **{k: v for k, v in self.config.items() if k in fields})
+
+
+# -- function keys ---------------------------------------------------------------
+
+@_register(protocol.KIND_FEIP_KEY_REQUEST, protocol.KIND_FEIP_KEY_BATCH_REQUEST)
+@dataclasses.dataclass
+class FeipKeyRequest:
+    """Weight rows for inner-product key derivation.
+
+    ``batched=True`` wires the rows inside one batch envelope and is
+    recorded under the ``feip-key-batch-request`` kind; unbatched bodies
+    are the raw ``k x n x |w|`` payload of the paper's formula.
+    """
+
+    rows: list[list[int]]
+    batched: bool = True
+    requester: str = protocol.SERVER
+
+    @property
+    def kind(self) -> str:
+        return (protocol.KIND_FEIP_KEY_BATCH_REQUEST if self.batched
+                else protocol.KIND_FEIP_KEY_REQUEST)
+
+    @property
+    def eta(self) -> int:
+        return len(self.rows[0]) if self.rows else 0
+
+    def header(self) -> dict[str, Any]:
+        return {"count": len(self.rows), "eta": self.eta,
+                "from": self.requester}
+
+    def body(self, ctx: WireContext | None = None) -> bytes:
+        wb = _require_ctx(ctx).weight_bytes
+        if self.batched:
+            return ser.pack_feip_key_batch_request(self.rows, wb)
+        return ser.pack_feip_key_rows(self.rows, wb)
+
+    @classmethod
+    def from_wire(cls, header, body, ctx):
+        wb = _require_ctx(ctx).weight_bytes
+        batched = header["kind"] == protocol.KIND_FEIP_KEY_BATCH_REQUEST
+        if batched:
+            rows = ser.unpack_feip_key_batch_request(body, wb)
+        else:
+            rows = ser.unpack_feip_key_rows(
+                body, int(header["count"]), int(header["eta"]), wb)
+        return cls(rows=rows, batched=batched,
+                   requester=str(header.get("from", protocol.SERVER)))
+
+
+@_register(protocol.KIND_FEIP_KEY_RESPONSE, protocol.KIND_FEIP_KEY_BATCH_RESPONSE)
+@dataclasses.dataclass
+class FeipKeyResponse:
+    """Derived inner-product keys (sk + bound weight vector each)."""
+
+    keys: list[FeipFunctionKey]
+    batched: bool = True
+
+    @property
+    def kind(self) -> str:
+        return (protocol.KIND_FEIP_KEY_BATCH_RESPONSE if self.batched
+                else protocol.KIND_FEIP_KEY_RESPONSE)
+
+    @property
+    def eta(self) -> int:
+        return len(self.keys[0].y) if self.keys else 0
+
+    def header(self) -> dict[str, Any]:
+        return {"count": len(self.keys), "eta": self.eta}
+
+    def body(self, ctx: WireContext | None = None) -> bytes:
+        ctx = _require_ctx(ctx)
+        if self.batched:
+            return ser.pack_feip_key_batch_response(
+                self.keys, ctx.params, ctx.weight_bytes)
+        return ser.pack_feip_keys(self.keys, ctx.params, ctx.weight_bytes)
+
+    @classmethod
+    def from_wire(cls, header, body, ctx):
+        ctx = _require_ctx(ctx)
+        batched = header["kind"] == protocol.KIND_FEIP_KEY_BATCH_RESPONSE
+        if batched:
+            keys = ser.unpack_feip_key_batch_response(
+                body, ctx.params, ctx.weight_bytes)
+        else:
+            keys = ser.unpack_feip_keys(
+                body, int(header["count"]), int(header["eta"]), ctx.params,
+                ctx.weight_bytes)
+        return cls(keys=keys, batched=batched)
+
+
+@_register(protocol.KIND_FEBO_KEY_REQUEST, protocol.KIND_FEBO_KEY_BATCH_REQUEST)
+@dataclasses.dataclass
+class FeboKeyRequest:
+    """Per-ciphertext ``(commitment, op, operand)`` key requests."""
+
+    requests: list[tuple[int, str, int]]
+    batched: bool = True
+    requester: str = protocol.SERVER
+
+    @property
+    def kind(self) -> str:
+        return (protocol.KIND_FEBO_KEY_BATCH_REQUEST if self.batched
+                else protocol.KIND_FEBO_KEY_REQUEST)
+
+    def header(self) -> dict[str, Any]:
+        return {"count": len(self.requests), "from": self.requester}
+
+    def body(self, ctx: WireContext | None = None) -> bytes:
+        ctx = _require_ctx(ctx)
+        if self.batched:
+            return ser.pack_febo_key_batch_request(
+                self.requests, ctx.params, ctx.weight_bytes)
+        return ser.pack_febo_requests(self.requests, ctx.params,
+                                      ctx.weight_bytes)
+
+    @classmethod
+    def from_wire(cls, header, body, ctx):
+        ctx = _require_ctx(ctx)
+        batched = header["kind"] == protocol.KIND_FEBO_KEY_BATCH_REQUEST
+        if batched:
+            requests = ser.unpack_febo_key_batch_request(
+                body, ctx.params, ctx.weight_bytes)
+        else:
+            requests = ser.unpack_febo_requests(
+                body, int(header["count"]), ctx.params, ctx.weight_bytes)
+        return cls(requests=requests, batched=batched,
+                   requester=str(header.get("from", protocol.SERVER)))
+
+
+@_register(protocol.KIND_FEBO_KEY_RESPONSE, protocol.KIND_FEBO_KEY_BATCH_RESPONSE)
+@dataclasses.dataclass
+class FeboKeyResponse:
+    """Derived basic-operation keys, in request order (cmt re-attached
+    client-side from the matching request)."""
+
+    keys: list[FeboFunctionKey]
+    batched: bool = True
+
+    @property
+    def kind(self) -> str:
+        return (protocol.KIND_FEBO_KEY_BATCH_RESPONSE if self.batched
+                else protocol.KIND_FEBO_KEY_RESPONSE)
+
+    def header(self) -> dict[str, Any]:
+        return {"count": len(self.keys)}
+
+    def body(self, ctx: WireContext | None = None) -> bytes:
+        ctx = _require_ctx(ctx)
+        if self.batched:
+            return ser.pack_febo_key_batch_response(
+                self.keys, ctx.params, ctx.weight_bytes)
+        return ser.pack_febo_keys(self.keys, ctx.params, ctx.weight_bytes)
+
+    @classmethod
+    def from_wire(cls, header, body, ctx):
+        ctx = _require_ctx(ctx)
+        batched = header["kind"] == protocol.KIND_FEBO_KEY_BATCH_RESPONSE
+        if batched:
+            keys = ser.unpack_febo_key_batch_response(
+                body, ctx.params, ctx.weight_bytes)
+        else:
+            keys = ser.unpack_febo_keys(
+                body, int(header["count"]), ctx.params, ctx.weight_bytes)
+        return cls(keys=keys, batched=batched)
+
+
+# -- encrypted data upload -------------------------------------------------------
+
+@_register(protocol.KIND_ENCRYPTED_DATA)
+@dataclasses.dataclass
+class EncryptedDataUpload:
+    """A client's one-time encrypted shard (client -> training server).
+
+    The body packs every sample then every label with the fixed-width
+    element codecs, so its length equals
+    :func:`repro.core.serialization.encrypted_tabular_wire_size`.
+    ``eval_labels`` (harness-only ground truth) rides in the header; a
+    real deployment would strip it.
+    """
+
+    dataset: EncryptedTabularDataset
+    client_name: str = protocol.CLIENT
+
+    kind: ClassVar[str] = protocol.KIND_ENCRYPTED_DATA
+
+    def header(self) -> dict[str, Any]:
+        d = self.dataset
+        return {
+            "n": len(d), "n_features": d.n_features,
+            "num_classes": d.num_classes, "scale": d.scale,
+            "from": self.client_name,
+            "eval_labels": (d.eval_labels.tolist()
+                            if d.eval_labels is not None else None),
+        }
+
+    def body(self, ctx: WireContext | None = None) -> bytes:
+        params = _require_ctx(ctx).params
+        parts = []
+        for sample in self.dataset.samples:
+            parts.append(ser.pack_feip_ciphertext(sample.features_ip, params))
+            parts.extend(ser.pack_febo_ciphertext(c, params)
+                         for c in sample.features_bo)
+        for label in self.dataset.labels:
+            parts.append(ser.pack_feip_ciphertext(label.onehot_ip, params))
+            parts.extend(ser.pack_febo_ciphertext(c, params)
+                         for c in label.onehot_bo)
+        return b"".join(parts)
+
+    @classmethod
+    def from_wire(cls, header, body, ctx):
+        params = _require_ctx(ctx).params
+        n = int(header["n"])
+        n_features = int(header["n_features"])
+        num_classes = int(header["num_classes"])
+        elem = ser.element_size_bytes(params)
+        febo_size = ser.febo_ciphertext_wire_size(params)
+        expected = ser.encrypted_tabular_wire_size(
+            n, n_features, num_classes, params)
+        if len(body) != expected:
+            raise MessageError(
+                f"encrypted-data body holds {len(body)} bytes, "
+                f"expected {expected}")
+        offset = 0
+
+        def take(size: int) -> bytes:
+            nonlocal offset
+            chunk = body[offset:offset + size]
+            offset += size
+            return chunk
+
+        samples = []
+        for _ in range(n):
+            ip = ser.unpack_feip_ciphertext(
+                take((1 + n_features) * elem), params)
+            bo = tuple(ser.unpack_febo_ciphertext(take(febo_size), params)
+                       for _ in range(n_features))
+            samples.append(EncryptedSample(features_ip=ip, features_bo=bo))
+        labels = []
+        for _ in range(n):
+            ip = ser.unpack_feip_ciphertext(
+                take((1 + num_classes) * elem), params)
+            bo = tuple(ser.unpack_febo_ciphertext(take(febo_size), params)
+                       for _ in range(num_classes))
+            labels.append(EncryptedLabel(onehot_ip=ip, onehot_bo=bo))
+        eval_labels = header.get("eval_labels")
+        dataset = EncryptedTabularDataset(
+            samples=samples, labels=labels, num_classes=num_classes,
+            n_features=n_features, scale=int(header["scale"]),
+            eval_labels=(np.asarray(eval_labels, dtype=np.int64)
+                         if eval_labels is not None else None),
+        )
+        return cls(dataset=dataset,
+                   client_name=str(header.get("from", protocol.CLIENT)))
+
+
+# -- control messages ------------------------------------------------------------
+
+@_register(KIND_ACK)
+@dataclasses.dataclass
+class Ack:
+    """Generic success acknowledgement with a small info payload."""
+
+    info: dict[str, Any] = dataclasses.field(default_factory=dict)
+
+    kind: ClassVar[str] = KIND_ACK
+
+    def header(self) -> dict[str, Any]:
+        return {"info": self.info}
+
+    def body(self, ctx: WireContext | None = None) -> bytes:
+        return b""
+
+    @classmethod
+    def from_wire(cls, header, body, ctx):
+        return cls(info=dict(header.get("info", {})))
+
+
+@_register(KIND_ERROR)
+@dataclasses.dataclass
+class ErrorMessage:
+    """A remote failure; the client raises it as ``RpcRemoteError``."""
+
+    message: str
+    error_type: str = "RpcError"
+
+    kind: ClassVar[str] = KIND_ERROR
+
+    def header(self) -> dict[str, Any]:
+        return {"message": self.message, "type": self.error_type}
+
+    def body(self, ctx: WireContext | None = None) -> bytes:
+        return b""
+
+    @classmethod
+    def from_wire(cls, header, body, ctx):
+        return cls(message=str(header.get("message", "")),
+                   error_type=str(header.get("type", "RpcError")))
+
+
+@_register(KIND_TRAIN_START)
+@dataclasses.dataclass
+class TrainStart:
+    """Force the training server to start (before all expected uploads)."""
+
+    requester: str = protocol.SERVER
+
+    kind: ClassVar[str] = KIND_TRAIN_START
+
+    def header(self) -> dict[str, Any]:
+        return {"from": self.requester}
+
+    def body(self, ctx: WireContext | None = None) -> bytes:
+        return b""
+
+    @classmethod
+    def from_wire(cls, header, body, ctx):
+        return cls(requester=str(header.get("from", protocol.SERVER)))
+
+
+@_register(KIND_TRAIN_STATUS)
+@dataclasses.dataclass
+class TrainStatusRequest:
+    requester: str = protocol.CLIENT
+
+    kind: ClassVar[str] = KIND_TRAIN_STATUS
+
+    def header(self) -> dict[str, Any]:
+        return {"from": self.requester}
+
+    def body(self, ctx: WireContext | None = None) -> bytes:
+        return b""
+
+    @classmethod
+    def from_wire(cls, header, body, ctx):
+        return cls(requester=str(header.get("from", protocol.CLIENT)))
+
+
+@_register(KIND_TRAIN_STATUS_RESPONSE)
+@dataclasses.dataclass
+class TrainStatus:
+    """Training-server state: waiting / training / done / failed."""
+
+    state: str
+    accuracy: float | None = None
+    detail: dict[str, Any] = dataclasses.field(default_factory=dict)
+
+    kind: ClassVar[str] = KIND_TRAIN_STATUS_RESPONSE
+
+    def header(self) -> dict[str, Any]:
+        return {"state": self.state, "accuracy": self.accuracy,
+                "detail": self.detail}
+
+    def body(self, ctx: WireContext | None = None) -> bytes:
+        return b""
+
+    @classmethod
+    def from_wire(cls, header, body, ctx):
+        accuracy = header.get("accuracy")
+        return cls(state=str(header["state"]),
+                   accuracy=None if accuracy is None else float(accuracy),
+                   detail=dict(header.get("detail", {})))
+
+
+@_register(KIND_PREDICT_REQUEST)
+@dataclasses.dataclass
+class PredictRequest:
+    """FE-based prediction over already-uploaded encrypted samples."""
+
+    indices: list[int]
+    requester: str = protocol.CLIENT
+
+    kind: ClassVar[str] = KIND_PREDICT_REQUEST
+
+    def header(self) -> dict[str, Any]:
+        return {"indices": [int(i) for i in self.indices],
+                "from": self.requester}
+
+    def body(self, ctx: WireContext | None = None) -> bytes:
+        return b""
+
+    @classmethod
+    def from_wire(cls, header, body, ctx):
+        return cls(indices=[int(i) for i in header.get("indices", [])],
+                   requester=str(header.get("from", protocol.CLIENT)))
+
+
+@_register(KIND_PREDICT_RESPONSE)
+@dataclasses.dataclass
+class PredictResponse:
+    """Class scores for the requested samples (server learns them by
+    design -- the paper's stated contrast with HE-based prediction)."""
+
+    scores: list[list[float]]
+
+    kind: ClassVar[str] = KIND_PREDICT_RESPONSE
+
+    def header(self) -> dict[str, Any]:
+        return {"scores": self.scores}
+
+    def body(self, ctx: WireContext | None = None) -> bytes:
+        return b""
+
+    @classmethod
+    def from_wire(cls, header, body, ctx):
+        return cls(scores=[[float(v) for v in row]
+                           for row in header.get("scores", [])])

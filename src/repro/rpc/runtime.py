@@ -1,0 +1,114 @@
+"""Helpers for hosting RPC services inside tests, examples and drivers.
+
+:class:`ServiceThread` runs one asyncio service (authority or training)
+on a dedicated event loop in a daemon thread, so synchronous code -- a
+pytest test, an example script, the CLI -- can stand up a real socket
+service, talk to it, and tear it down deterministically.  Separate
+*processes* work exactly the same way (see ``examples/rpc_loopback.py``);
+the thread variant simply keeps single-process demos and the test suite
+self-contained.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import threading
+import time
+
+
+def free_port(host: str = "127.0.0.1") -> int:
+    """Ask the OS for an unused TCP port (bind-to-zero trick)."""
+    with socket.socket() as sock:
+        sock.bind((host, 0))
+        return sock.getsockname()[1]
+
+
+def wait_for_port(host: str, port: int, timeout: float = 10.0) -> None:
+    """Block until something listens on ``host:port`` (or time out)."""
+    deadline = time.monotonic() + timeout
+    while True:
+        try:
+            with socket.create_connection((host, port), timeout=0.5):
+                return
+        except OSError:
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"nothing listening on {host}:{port} after {timeout}s"
+                ) from None
+            time.sleep(0.05)
+
+
+class ServiceThread:
+    """Host an RPC service on its own event loop in a daemon thread.
+
+    The wrapped service must expose ``async start() -> (host, port)``
+    and ``async stop()`` (both :class:`~repro.rpc.authority_service.
+    AuthorityService` and :class:`~repro.rpc.training_service.
+    TrainingService` do).  ``asyncio.start_server`` begins accepting as
+    soon as ``start()`` returns, so the thread just keeps the loop
+    alive; ``stop()`` shuts the service down and joins the thread.
+    """
+
+    def __init__(self, service):
+        self.service = service
+        self.loop: asyncio.AbstractEventLoop | None = None
+        self.address: tuple[str, int] | None = None
+        self._thread: threading.Thread | None = None
+        self._started = threading.Event()
+        self._startup_error: BaseException | None = None
+
+    def start(self, timeout: float = 10.0) -> tuple[str, int]:
+        """Start the loop + service; returns the bound (host, port)."""
+        if self._thread is not None:
+            return self.address
+        self._thread = threading.Thread(
+            target=self._run, name=type(self.service).__name__, daemon=True)
+        self._thread.start()
+        if not self._started.wait(timeout):
+            raise TimeoutError("service did not start in time")
+        if self._startup_error is not None:
+            raise RuntimeError(
+                f"service failed to start: {self._startup_error!r}")
+        return self.address
+
+    def _run(self) -> None:
+        self.loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self.loop)
+
+        async def _start() -> None:
+            try:
+                self.address = await self.service.start()
+            except BaseException as exc:
+                self._startup_error = exc
+            finally:
+                self._started.set()
+
+        try:
+            self.loop.run_until_complete(_start())
+            if self._startup_error is None:
+                self.loop.run_forever()
+        finally:
+            self.loop.close()
+
+    def call(self, coro_factory, timeout: float = 30.0):
+        """Run ``await coro_factory()`` on the service's loop (blocking)."""
+        if self.loop is None:
+            raise RuntimeError("service thread not started")
+        future = asyncio.run_coroutine_threadsafe(coro_factory(), self.loop)
+        return future.result(timeout)
+
+    def stop(self, timeout: float = 10.0) -> None:
+        if self._thread is None or self.loop is None:
+            return
+        if not self.loop.is_closed():
+            try:
+                self.call(self.service.stop, timeout)
+            except Exception:
+                pass
+            try:
+                self.loop.call_soon_threadsafe(self.loop.stop)
+            except RuntimeError:
+                pass  # loop already closed (e.g. startup failed)
+        self._thread.join(timeout)
+        self._thread = None

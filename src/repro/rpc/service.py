@@ -1,0 +1,157 @@
+"""Shared asyncio server plumbing for the RPC services.
+
+Both the authority key service and the training server speak the same
+strict request/response protocol over framed TCP streams; this base
+class owns the socket lifecycle, per-connection traffic accounting and
+error framing, leaving subclasses one job: ``_dispatch`` a decoded
+message to the entity behind it.
+
+Connections are tracked so ``stop()`` tears them down deterministically
+(no handler tasks left pending when the hosting loop closes).  A broken
+or malicious peer only ever costs its own connection: decode errors are
+answered with an ``error`` frame, transport errors drop the connection,
+and the listener keeps serving everyone else.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+
+from repro.core.protocol import TrafficLog
+from repro.rpc.framing import (
+    MAX_FRAME_BYTES,
+    FrameError,
+    read_frame,
+    write_frame,
+)
+from repro.rpc.messages import (
+    ErrorMessage,
+    WireContext,
+    decode_message,
+    encode_message,
+)
+
+
+class FramedService:
+    """An asyncio TCP server answering framed request/response messages."""
+
+    #: Canonical entity name used in traffic records (subclass sets it).
+    entity_name = "service"
+
+    #: Cap on distinct per-connection logs; connections beyond it share
+    #: one ``"overflow"`` log so a long-lived service facing churning
+    #: clients cannot grow ``connection_traffic`` without bound.  (The
+    #: records *inside* a log still grow with traffic -- totals-only
+    #: aggregation is an open item, see ROADMAP.)
+    MAX_CONNECTION_LOGS = 1024
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
+                 max_frame_bytes: int = MAX_FRAME_BYTES):
+        self.host = host
+        self.port = port
+        self.max_frame_bytes = max_frame_bytes
+        #: per-connection traffic logs, keyed ``"<sender>#<peer-port>"``;
+        #: body byte counts equal the serialization wire sizes.
+        self.connection_traffic: dict[str, TrafficLog] = {}
+        self.requests_served = 0
+        self.address: tuple[str, int] | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._conn_tasks: set[asyncio.Task] = set()
+
+    # -- subclass hooks ------------------------------------------------------
+    async def _wire_context(self) -> WireContext | None:
+        """Decode context for incoming bodies (group field widths)."""
+        raise NotImplementedError
+
+    async def _wire_context_for(self, header) -> WireContext | None:
+        """Per-message context hook; lets a subclass answer context-free
+        control messages without acquiring the full context first."""
+        return await self._wire_context()
+
+    async def _dispatch(self, msg, sender: str):
+        """Answer one decoded message; exceptions become error frames."""
+        raise NotImplementedError
+
+    # -- lifecycle -----------------------------------------------------------
+    async def start(self) -> tuple[str, int]:
+        """Bind the listening socket; returns the bound (host, port)."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port)
+        sockname = self._server.sockets[0].getsockname()
+        self.address = (sockname[0], sockname[1])
+        return self.address
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        self._conn_tasks.clear()
+
+    # -- connection handling -------------------------------------------------
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        peername = writer.get_extra_info("peername") or ("?", 0)
+        log: TrafficLog | None = None
+        try:
+            while True:
+                frame = await read_frame(reader, self.max_frame_bytes)
+                if frame is None:
+                    break
+                header, body = frame
+                sender = str(header.get("from", f"{peername[0]}"))
+                if log is None:
+                    label = f"{sender}#{peername[1]}"
+                    if label not in self.connection_traffic and \
+                            len(self.connection_traffic) >= \
+                            self.MAX_CONNECTION_LOGS:
+                        label = "overflow"
+                    log = self.connection_traffic.setdefault(
+                        label, TrafficLog())
+                log.record(sender, self.entity_name,
+                           str(header.get("kind")), len(body))
+                ctx = None
+                try:
+                    ctx = await self._wire_context_for(header)
+                    # decode/encode off-loop: a paper-scale upload body
+                    # unpacks hundreds of thousands of integers, which
+                    # must not stall every other connection
+                    msg = await asyncio.to_thread(
+                        decode_message, header, body, ctx)
+                    resp = await self._dispatch(msg, sender)
+                except asyncio.CancelledError:
+                    raise
+                except Exception as exc:
+                    resp = ErrorMessage(message=str(exc),
+                                        error_type=type(exc).__name__)
+                resp_header, resp_body = await asyncio.to_thread(
+                    encode_message, resp, ctx)
+                resp_header["seq"] = header.get("seq")
+                log.record(self.entity_name, sender, resp_header["kind"],
+                           len(resp_body))
+                await write_frame(writer, resp_header, resp_body)
+                self.requests_served += 1
+        except (FrameError, ConnectionError, asyncio.IncompleteReadError):
+            pass  # broken peer: drop the connection, keep serving others
+        except asyncio.CancelledError:
+            pass  # service stopping: close the connection and exit cleanly
+        finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
+            with contextlib.suppress(Exception):
+                writer.close()
+            with contextlib.suppress(BaseException):
+                await writer.wait_closed()

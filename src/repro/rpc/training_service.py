@@ -1,0 +1,295 @@
+"""The training server: accepts encrypted uploads, trains over the wire.
+
+The service listens for ``encrypted-data`` uploads from client agents.
+Once the expected number of clients have delivered their shards (or a
+``train-start`` message forces it), it merges the shards in client-name
+order (deterministic regardless of upload timing), connects to the
+authority key service as a :class:`~repro.rpc.client.RemoteAuthority`,
+and drives a :class:`~repro.core.cryptonn.CryptoNNTrainer` -- every
+per-iteration function-key request now crosses a real socket, batched
+into one envelope per step by default.
+
+The blocking training loop runs in a worker thread
+(``asyncio.to_thread``) so the server keeps answering ``train-status``
+and, after completion, ``predict-request`` messages.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import dataclasses
+import re
+import threading
+
+import numpy as np
+
+from repro.core import protocol
+from repro.core.config import CryptoNNConfig
+from repro.core.cryptonn import CryptoNNTrainer
+from repro.core.encdata import EncryptedTabularDataset, merge_encrypted_tabular
+from repro.nn.layers import Dense, ReLU
+from repro.nn.model import Sequential, TrainingHistory
+from repro.nn.optimizers import SGD
+from repro.rpc.client import RemoteAuthority
+from repro.rpc.framing import MAX_FRAME_BYTES
+from repro.rpc import messages as messages_mod
+from repro.rpc.messages import (
+    Ack,
+    EncryptedDataUpload,
+    ErrorMessage,
+    PredictRequest,
+    PredictResponse,
+    TrainStart,
+    TrainStatus,
+    TrainStatusRequest,
+    WireContext,
+)
+from repro.rpc.service import FramedService
+
+
+#: Message kinds a training server answers without group parameters.
+_CTX_FREE_KINDS = frozenset({
+    messages_mod.KIND_TRAIN_START,
+    messages_mod.KIND_TRAIN_STATUS,
+    messages_mod.KIND_PREDICT_REQUEST,
+})
+
+
+def _natural_key(name: str) -> list:
+    """Sort key treating digit runs numerically (client-2 < client-10).
+
+    Keeps the merge order identical to the 0..N-1 enumerate order the
+    in-process reference uses, for any client count.
+    """
+    return [int(token) if token.isdigit() else token
+            for token in re.split(r"(\d+)", name)]
+
+
+def build_mlp(n_features: int, hidden: int, num_classes: int,
+              seed: int) -> Sequential:
+    """The Dense-ReLU-Dense model every runtime entry point trains."""
+    rng = np.random.default_rng(seed)
+    return Sequential([
+        Dense(n_features, hidden, rng=rng),
+        ReLU(),
+        Dense(hidden, num_classes, rng=rng),
+    ])
+
+
+def run_training(dataset: EncryptedTabularDataset, authority, *,
+                 hidden: int = 8, epochs: int = 1, batch_size: int = 20,
+                 learning_rate: float = 0.5, seed: int = 0,
+                 loss: str = "cross_entropy",
+                 config: CryptoNNConfig | None = None
+                 ) -> tuple[CryptoNNTrainer, TrainingHistory, float]:
+    """One deterministic training run over an encrypted dataset.
+
+    The networked training server and the in-process path both call
+    this function, so "same seed => same accuracy" holds across
+    transports by construction: decryption recovers exact integers,
+    hence identical floating-point trajectories either way.
+    """
+    model = build_mlp(dataset.n_features, hidden, dataset.num_classes, seed)
+    trainer = CryptoNNTrainer(model, authority, config=config, loss=loss)
+    history = trainer.fit(
+        dataset, SGD(learning_rate), epochs=epochs, batch_size=batch_size,
+        rng=np.random.default_rng(seed))
+    accuracy = trainer.evaluate(dataset)
+    return trainer, history, accuracy
+
+
+class TrainingService(FramedService):
+    """Asyncio TCP server for the CryptoNN training side."""
+
+    entity_name = protocol.SERVER
+
+    def __init__(self, authority_host: str, authority_port: int, *,
+                 host: str = "127.0.0.1", port: int = 0,
+                 expected_clients: int = 1, hidden: int = 8, epochs: int = 1,
+                 batch_size: int = 20, learning_rate: float = 0.5,
+                 seed: int = 0, loss: str = "cross_entropy",
+                 batch_key_requests: bool = True,
+                 max_frame_bytes: int = MAX_FRAME_BYTES):
+        super().__init__(host, port, max_frame_bytes=max_frame_bytes)
+        self.authority_address = (authority_host, authority_port)
+        self.expected_clients = expected_clients
+        self.hidden = hidden
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.learning_rate = learning_rate
+        self.seed = seed
+        self.loss = loss
+        self.batch_key_requests = batch_key_requests
+
+        self.state = "waiting"  # waiting -> training -> done | failed
+        self.error: str | None = None
+        self.accuracy: float | None = None
+        self.history: TrainingHistory | None = None
+        self.trainer: CryptoNNTrainer | None = None
+        self.dataset: EncryptedTabularDataset | None = None
+        self.authority: RemoteAuthority | None = None
+
+        self._shards: list[tuple[str, EncryptedTabularDataset]] = []
+        self._done = asyncio.Event()
+        self._train_task: asyncio.Task | None = None
+        self._predict_lock = threading.Lock()
+        self._handshake_lock = asyncio.Lock()
+        self._cached_ctx: WireContext | None = None
+        self._stopping = False
+
+    # -- lifecycle -----------------------------------------------------------
+    async def wait_done(self, timeout: float | None = None) -> None:
+        """Block until training finished (or failed)."""
+        if timeout is None:
+            await self._done.wait()
+        else:
+            await asyncio.wait_for(self._done.wait(), timeout)
+
+    async def stop(self) -> None:
+        # close the authority endpoint FIRST: asyncio.to_thread cannot
+        # interrupt a running _train_sync, but its next key request then
+        # fails fast on the closed endpoint and the thread exits instead
+        # of training (and re-connecting) for hours after "stop".  The
+        # attribute stays set so the training thread cannot race in a
+        # fresh connection via its None-fallback.
+        self._stopping = True
+        if self.authority is not None:
+            self.authority.close()
+        if self._train_task is not None and not self._train_task.done():
+            self._train_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._train_task
+        await super().stop()
+
+    # -- wire context --------------------------------------------------------
+    def _handshake_ctx(self) -> WireContext:
+        """Blocking: first call performs the authority handshake."""
+        if self._cached_ctx is None:
+            if self.authority is None:
+                if self._stopping:
+                    raise RuntimeError("training server is stopping")
+                self.authority = RemoteAuthority(
+                    *self.authority_address, name=protocol.SERVER)
+                if self._stopping:
+                    self.authority.close()
+                    raise RuntimeError("training server is stopping")
+            self._cached_ctx = self.authority.wire_ctx
+        return self._cached_ctx
+
+    async def _wire_context(self) -> WireContext:
+        if self._cached_ctx is None:
+            # serialize concurrent first-connections: exactly one
+            # handshake (and one RemoteAuthority endpoint) ever runs,
+            # off-loop so the server stays responsive meanwhile
+            async with self._handshake_lock:
+                if self._cached_ctx is None:
+                    await asyncio.to_thread(self._handshake_ctx)
+        return self._cached_ctx
+
+    async def _wire_context_for(self, header) -> WireContext | None:
+        # control messages (status polls, train-start, predict) need no
+        # group widths; answering them must not block on -- or fail
+        # with -- an authority handshake
+        if self._cached_ctx is None and \
+                header.get("kind") in _CTX_FREE_KINDS:
+            return None
+        return await self._wire_context()
+
+    # -- dispatch ------------------------------------------------------------
+    async def _dispatch(self, msg, sender: str):
+        if isinstance(msg, EncryptedDataUpload):
+            if self.state != "waiting":
+                if any(name == msg.client_name for name, _ in self._shards):
+                    # the client's earlier upload was accepted but its
+                    # ack got lost; training may already be running --
+                    # acknowledge the resend instead of failing it
+                    return Ack(info={"received": len(msg.dataset),
+                                     "clients": len(self._shards),
+                                     "expected": self.expected_clients,
+                                     "duplicate": True})
+                raise RuntimeError(
+                    f"cannot accept uploads in state {self.state!r}")
+            # last write per client name wins, so a client resending
+            # after a lost ack (transport retry) stays idempotent
+            self._shards = [(name, shard) for name, shard in self._shards
+                            if name != msg.client_name]
+            self._shards.append((msg.client_name, msg.dataset))
+            if len(self._shards) >= self.expected_clients:
+                self._start_training()
+            return Ack(info={"received": len(msg.dataset),
+                             "clients": len(self._shards),
+                             "expected": self.expected_clients})
+        if isinstance(msg, TrainStart):
+            if self.state == "waiting" and self._shards:
+                self._start_training()
+            return Ack(info={"state": self.state})
+        if isinstance(msg, TrainStatusRequest):
+            return self._status()
+        if isinstance(msg, PredictRequest):
+            if self.state != "done":
+                raise RuntimeError(
+                    f"no trained model yet (state {self.state!r})")
+            scores = await asyncio.to_thread(self._predict, msg.indices)
+            return PredictResponse(scores=scores)
+        return ErrorMessage(
+            message=f"training service cannot answer {msg.kind!r}",
+            error_type="UnsupportedMessage")
+
+    def _status(self) -> TrainStatus:
+        detail = {
+            "clients": len(self._shards),
+            "expected": self.expected_clients,
+            "error": self.error,
+        }
+        if self.history is not None:
+            detail["epoch_loss"] = self.history.epoch_loss
+            detail["epoch_accuracy"] = self.history.epoch_accuracy
+        return TrainStatus(state=self.state, accuracy=self.accuracy,
+                           detail=detail)
+
+    # -- training ------------------------------------------------------------
+    def _start_training(self) -> None:
+        self.state = "training"
+        self._train_task = asyncio.get_running_loop().create_task(
+            self._train())
+
+    async def _train(self) -> None:
+        try:
+            await asyncio.to_thread(self._train_sync)
+            self.state = "done"
+        except Exception as exc:  # surfaced through train-status
+            self.state = "failed"
+            self.error = f"{type(exc).__name__}: {exc}"
+        finally:
+            self._done.set()
+
+    def _train_sync(self) -> None:
+        # merge in natural client-name order: deterministic under
+        # upload races, and equal to the 0..N-1 enumerate order of the
+        # in-process reference even past 9 clients
+        parts = [shard for _, shard in
+                 sorted(self._shards,
+                        key=lambda item: _natural_key(item[0]))]
+        self.dataset = merge_encrypted_tabular(parts)
+        authority = self.authority
+        if authority is None:
+            authority = RemoteAuthority(
+                *self.authority_address, name=protocol.SERVER)
+            self.authority = authority
+            if self._stopping:
+                # stop() may have missed the fresh connection; under the
+                # GIL either it closed self.authority or we see the flag
+                authority.close()
+                raise RuntimeError("training server is stopping")
+        config = dataclasses.replace(
+            authority.config, batch_key_requests=self.batch_key_requests)
+        self.trainer, self.history, self.accuracy = run_training(
+            self.dataset, authority, hidden=self.hidden, epochs=self.epochs,
+            batch_size=self.batch_size, learning_rate=self.learning_rate,
+            seed=self.seed, loss=self.loss, config=config)
+
+    def _predict(self, indices: list[int]) -> list[list[float]]:
+        with self._predict_lock:
+            scores = self.trainer.predict(self.dataset, np.asarray(indices))
+        return [[float(v) for v in row] for row in scores]

@@ -3,11 +3,16 @@
 Crypto tests run on the 32-bit toy group: the code path is identical to
 the paper's 256-bit setting (see DESIGN.md substitution notes) and the
 suite stays fast.  A handful of tests exercise larger groups explicitly.
+
+The ``timeout_guard`` marker arms a SIGALRM watchdog around a test so
+socket/service tests can never hang the suite: if the deadline passes,
+the test fails with a TimeoutError instead of blocking forever.
 """
 
 from __future__ import annotations
 
 import random
+import signal
 
 import numpy as np
 import pytest
@@ -18,6 +23,34 @@ from repro.mathutils.dlog import SolverCache
 from repro.mathutils.group import GroupParams, SchnorrGroup
 
 TEST_BITS = 32
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "timeout_guard(seconds): fail the test if it runs longer than "
+        "``seconds`` (SIGALRM watchdog; guards socket tests against hangs)",
+    )
+
+
+@pytest.hookimpl(wrapper=True)
+def pytest_runtest_call(item):
+    marker = item.get_closest_marker("timeout_guard")
+    if marker is None or not hasattr(signal, "SIGALRM"):
+        return (yield)
+    seconds = int(marker.args[0]) if marker.args else 60
+
+    def _expired(signum, frame):
+        raise TimeoutError(
+            f"{item.nodeid} exceeded its {seconds}s timeout guard")
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        return (yield)
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture(scope="session")

@@ -17,6 +17,7 @@ ALL_EXAMPLES = [
     "clinic_mlp",
     "crypto_cnn_digits",
     "distributed_clinics",
+    "rpc_loopback",
     "secure_inference",
 ]
 

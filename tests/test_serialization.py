@@ -84,3 +84,152 @@ class TestWireSizes:
     def test_febo_sizes(self, params):
         assert ser.febo_ciphertext_wire_size(params) == 2 * ser.element_size_bytes(params)
         assert ser.febo_key_wire_size(params) > ser.element_size_bytes(params)
+
+
+class TestGroupAndPublicKeyCodecs:
+    def test_group_params_roundtrip(self, params):
+        restored = ser.group_params_from_dict(ser.group_params_to_dict(params))
+        assert restored == params
+
+    def test_feip_public_key_dict_roundtrip(self, params, rng):
+        feip = Feip(params, rng=rng)
+        mpk, _ = feip.setup(4)
+        restored = ser.feip_public_key_from_dict(ser.feip_public_key_to_dict(mpk))
+        assert restored == mpk
+
+    def test_febo_public_key_dict_roundtrip(self, params, rng):
+        febo = Febo(params, rng=rng)
+        mpk, _ = febo.setup()
+        restored = ser.febo_public_key_from_dict(ser.febo_public_key_to_dict(mpk))
+        assert restored == mpk
+
+    def test_feip_public_key_binary_roundtrip_and_size(self, params, rng):
+        feip = Feip(params, rng=rng)
+        mpk, _ = feip.setup(5)
+        packed = ser.pack_feip_public_key(mpk)
+        # matches the broadcast accounting: (1 + eta) elements
+        assert len(packed) == (1 + 5) * ser.element_size_bytes(params)
+        assert ser.unpack_feip_public_key(packed, params) == mpk
+
+    def test_febo_public_key_binary_roundtrip_and_size(self, params, rng):
+        febo = Febo(params, rng=rng)
+        mpk, _ = febo.setup()
+        packed = ser.pack_febo_public_key(mpk)
+        assert len(packed) == 2 * ser.element_size_bytes(params)
+        assert ser.unpack_febo_public_key(packed, params) == mpk
+
+
+class TestBinaryPrimitives:
+    def test_uint_edges(self):
+        for width in (1, 4, 8):
+            for value in (0, 1, (1 << (8 * width)) - 1):
+                assert ser.unpack_uint(ser.pack_uint(value, width)) == value
+
+    def test_uint_overflow_raises(self):
+        with pytest.raises(OverflowError):
+            ser.pack_uint(1 << 32, 4)
+        with pytest.raises(OverflowError):
+            ser.pack_uint(-1, 4)
+
+    def test_sint_edges(self):
+        for width in (1, 4, 8):
+            lo, hi = -(1 << (8 * width - 1)), (1 << (8 * width - 1)) - 1
+            for value in (lo, -1, 0, 1, hi):
+                assert ser.unpack_sint(ser.pack_sint(value, width)) == value
+
+    def test_sint_overflow_raises(self):
+        with pytest.raises(OverflowError):
+            ser.pack_sint(1 << 63, 8)
+        with pytest.raises(OverflowError):
+            ser.pack_sint(-(1 << 63) - 1, 8)
+
+    def test_ciphertext_roundtrips(self, params, feip_objects, febo_objects):
+        ct, _ = feip_objects
+        packed = ser.pack_feip_ciphertext(ct, params)
+        assert len(packed) == ser.feip_ciphertext_wire_size(ct, params)
+        assert ser.unpack_feip_ciphertext(packed, params) == ct
+        bct, _ = febo_objects
+        packed = ser.pack_febo_ciphertext(bct, params)
+        assert len(packed) == ser.febo_ciphertext_wire_size(params)
+        assert ser.unpack_febo_ciphertext(packed, params) == bct
+
+
+class TestBatchEnvelopes:
+    """Property-style round trips over random signed weight rows."""
+
+    def test_feip_request_roundtrip_random(self, params):
+        rng = random.Random(99)
+        for _ in range(20):
+            count = rng.randrange(0, 6)
+            eta = rng.randrange(1, 7)
+            rows = [[rng.randrange(-10**6, 10**6) for _ in range(eta)]
+                    for _ in range(count)]
+            packed = ser.pack_feip_key_batch_request(rows)
+            assert len(packed) == ser.feip_key_batch_request_wire_size(
+                count, eta if count else 0, params)
+            assert ser.unpack_feip_key_batch_request(packed) == rows
+
+    def test_feip_request_edge_weights(self, params):
+        # two's-complement extremes of the 8-byte weight field
+        lo, hi = -(1 << 63), (1 << 63) - 1
+        rows = [[lo, hi, 0, -1]]
+        packed = ser.pack_feip_key_batch_request(rows)
+        assert ser.unpack_feip_key_batch_request(packed) == rows
+        with pytest.raises(OverflowError):
+            ser.pack_feip_key_batch_request([[hi + 1]])
+
+    def test_feip_response_roundtrip_edge_exponents(self, params, rng):
+        feip = Feip(params, rng=rng)
+        _, msk = feip.setup(3)
+        keys = [feip.key_derive(msk, row)
+                for row in ([0, 0, 0], [1, -1, 1], [-500, 400, -300])]
+        # force the exponent extremes the wire must carry
+        keys.append(ser.FeipFunctionKey(y=(1, 2, 3), sk=0))
+        keys.append(ser.FeipFunctionKey(y=(1, 2, 3), sk=params.q - 1))
+        packed = ser.pack_feip_key_batch_response(keys, params)
+        assert len(packed) == ser.feip_key_batch_response_wire_size(
+            len(keys), 3, params)
+        assert ser.unpack_feip_key_batch_response(packed, params) == keys
+
+    def test_febo_request_roundtrip_random(self, params):
+        rng = random.Random(7)
+        for _ in range(20):
+            count = rng.randrange(0, 8)
+            requests = [
+                (rng.randrange(1, params.p), rng.choice("+-*/"),
+                 rng.randrange(-10**9, 10**9))
+                for _ in range(count)
+            ]
+            packed = ser.pack_febo_key_batch_request(requests, params)
+            assert len(packed) == ser.febo_key_batch_request_wire_size(
+                count, params)
+            assert ser.unpack_febo_key_batch_request(packed, params) == requests
+
+    def test_febo_response_roundtrip(self, params, febo_objects):
+        _, key = febo_objects
+        negative = ser.FeboFunctionKey(op="-", y=-12345, sk=key.sk, cmt=0)
+        packed = ser.pack_febo_key_batch_response([key, negative], params)
+        assert len(packed) == ser.febo_key_batch_response_wire_size(2, params)
+        restored = ser.unpack_febo_key_batch_response(packed, params)
+        # commitments are not wired; the requester re-attaches them
+        assert [(k.op, k.y, k.sk) for k in restored] == \
+            [(key.op, key.y, key.sk), ("-", -12345, key.sk)]
+
+    def test_zero_count_with_trailing_bytes_rejected(self, params):
+        stride = ser.exponent_size_bytes(params) + 2 * 8
+        packed = ser.pack_batch_header(0, 2) + b"\x00" * stride
+        with pytest.raises(ValueError):
+            ser.unpack_feip_key_batch_response(packed, params)
+
+    def test_truncated_envelope_rejected(self, params):
+        packed = ser.pack_feip_key_batch_request([[1, 2], [3, 4]])
+        with pytest.raises(ValueError):
+            ser.unpack_feip_key_batch_request(packed[:-3])
+        with pytest.raises(ValueError):
+            ser.unpack_batch_header(b"\x00\x01")
+
+    def test_upload_size_composes_from_parts(self, params):
+        total = ser.encrypted_tabular_wire_size(7, 5, 3, params)
+        per_sample = ser.encrypted_sample_wire_size(5, params)
+        per_label = ser.encrypted_label_wire_size(3, params)
+        assert total == 7 * (per_sample + per_label)
