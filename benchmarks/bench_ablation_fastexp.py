@@ -26,6 +26,7 @@ from functools import partial
 import numpy as np
 
 from benchmarks.conftest import series_table, write_report
+from benchmarks.harness import write_bench_json
 from repro.fe.feip import Feip
 from repro.matrix.parallel import SecureComputePool, _dot_column
 from repro.mathutils.fastexp import FixedBaseExp, multiexp
@@ -116,6 +117,12 @@ def test_pow_vs_fixed_base(benchmark):
          ["fixed-base comb", f"{sw_comb.elapsed:.4f}"],
          ["one-time table build", f"{sw_table.elapsed:.4f}"],
          ["speedup", f"{speedup:.1f}x"]]))
+    write_bench_json(
+        "ablation_fastexp_comb",
+        {"pow_s": sw_pow.elapsed, "comb_s": sw_comb.elapsed,
+         "table_build_s": sw_table.elapsed},
+        speedups={"comb_vs_pow": speedup},
+        meta={"bits": BITS, "exponentiations": len(exponents)})
     assert sw_comb.elapsed < sw_pow.elapsed
 
 
@@ -158,6 +165,12 @@ def test_naive_vs_multiexp(benchmark):
         [["per-entry pow", f"{sw_naive.elapsed:.4f}"],
          ["multiexp", f"{sw_fast.elapsed:.4f}"],
          ["speedup", f"{speedup:.1f}x"]]))
+    write_bench_json(
+        "ablation_fastexp_multiexp",
+        {"per_entry_pow_s": sw_naive.elapsed, "multiexp_s": sw_fast.elapsed},
+        speedups={"multiexp_vs_pow": speedup},
+        meta={"bits": BITS, "products": len(batches),
+              "vector_length": VECTOR_LENGTH})
     assert sw_fast.elapsed < sw_naive.elapsed
 
 
@@ -199,6 +212,12 @@ def test_fresh_vs_persistent_pool():
         [["fresh executor per call", f"{sw_fresh.elapsed:.3f}"],
          ["persistent pool", f"{sw_persistent.elapsed:.3f}"],
          ["speedup", f"{speedup:.1f}x"]]))
+    write_bench_json(
+        "ablation_fastexp_pool",
+        {"fresh_executor_s": sw_fresh.elapsed,
+         "persistent_pool_s": sw_persistent.elapsed},
+        speedups={"persistent_vs_fresh": speedup},
+        meta={"bits": 64, "calls": calls})
     assert sw_persistent.elapsed < sw_fresh.elapsed
 
 
@@ -265,4 +284,11 @@ def test_fig5_secure_dot_speedup(benchmark):
          ["fastexp (comb + multiexp + dense-table dlog)",
           f"{sw_current.elapsed:.3f}"],
          ["speedup", f"{speedup:.2f}x"]]))
+    write_bench_json(
+        "ablation_fastexp_fig5",
+        {"seed_pipeline_s": sw_seed.elapsed,
+         "current_pipeline_s": sw_current.elapsed},
+        speedups={"current_vs_seed": speedup},
+        meta={"bits": BITS, "rounds": rounds, "products": N_PRODUCTS,
+              "vector_length": VECTOR_LENGTH, "gate": 3.0})
     assert speedup >= 3.0, f"expected >= 3x, measured {speedup:.2f}x"

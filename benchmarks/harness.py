@@ -3,10 +3,18 @@
 Each function reproduces the measurement loop behind one family of
 figures: element-wise ops (Figures 3 and 4), dot products (Figure 5) and
 the twin-training comparison (Figure 6 / Table III).
+
+:func:`write_bench_json` is the machine-readable twin of the text
+reports in ``benchmarks/conftest.write_report``: ablation benches dump
+their raw numbers and speedup ratios to
+``benchmarks/results/BENCH_<name>.json`` so the perf trajectory is
+diffable across PRs without parsing formatted tables.
 """
 
 from __future__ import annotations
 
+import json
+import pathlib
 import random
 from dataclasses import dataclass, field
 
@@ -24,6 +32,32 @@ from repro.matrix.secure_matrix import (
 from repro.mathutils.dlog import SolverCache
 from repro.mathutils.group import GroupParams
 from repro.utils.timer import Stopwatch
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def write_bench_json(name: str, numbers: dict, *,
+                     speedups: dict | None = None,
+                     meta: dict | None = None) -> pathlib.Path:
+    """Persist one bench's results as ``results/BENCH_<name>.json``.
+
+    ``numbers`` holds raw measurements (seconds, counts, bytes),
+    ``speedups`` holds derived ratios, ``meta`` holds the configuration
+    (group bits, sizes) needed to compare runs fairly.  Keys are flat
+    strings so downstream tooling can diff two PRs with ``jq``.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload = {
+        "bench": name,
+        "meta": meta or {},
+        "numbers": {k: round(v, 6) if isinstance(v, float) else v
+                    for k, v in numbers.items()},
+        "speedups": {k: round(float(v), 3)
+                     for k, v in (speedups or {}).items()},
+    }
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 @dataclass

@@ -208,6 +208,8 @@ def cmd_client_upload(args: argparse.Namespace) -> int:
                           n_features=args.features, seed=args.seed)
     if not 0 <= args.clinic < args.clinics:
         raise SystemExit(f"--clinic must be in [0, {args.clinics})")
+    if args.workers is not None and args.workers < 1:
+        raise SystemExit("--workers must be >= 1")
     # normalize with the shared scale so every client scales identically
     scale = shared_feature_scale([s.x for s in shards])
     shard = shards[args.clinic]
@@ -217,6 +219,7 @@ def cmd_client_upload(args: argparse.Namespace) -> int:
         (args.server_host, args.server_port),
         normalize_features(shard.x, scale), shard.y, args.classes,
         name=name, rng=random.Random(args.seed + args.clinic),
+        workers=args.workers,
     )
     print(f"{name}: uploaded {result['n_samples']} encrypted samples "
           f"({result['upload_bytes']:,} bytes); server ack {result['ack']}")
@@ -340,6 +343,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--classes", type=int, default=2)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--name", help="client name (default client-<clinic>)")
+    p.add_argument("--workers", type=int,
+                   help="parallelize local encryption over this many "
+                        "worker processes (offline/online nonce split); "
+                        "omit for serial encryption")
     p.set_defaults(func=cmd_client_upload)
 
     return parser

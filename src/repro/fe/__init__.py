@@ -9,8 +9,12 @@
 Both schemes share the Schnorr-group substrate from
 :mod:`repro.mathutils.group` and recover plaintext results with the
 bounded discrete-log solver from :mod:`repro.mathutils.dlog`.
+:mod:`repro.fe.engine` adds the offline/online encryption split: both
+schemes' ``encrypt`` accept precomputed single-use nonce tuples, and the
+:class:`~repro.fe.engine.EncryptionEngine` banks them.
 """
 
+from repro.fe.engine import EncryptionEngine, resolve_engine
 from repro.fe.errors import (
     CiphertextError,
     CryptoError,
@@ -23,27 +27,35 @@ from repro.fe.keys import (
     FeboCiphertext,
     FeboFunctionKey,
     FeboMasterKey,
+    FeboNonce,
     FeboPublicKey,
     FeipCiphertext,
     FeipFunctionKey,
     FeipMasterKey,
+    FeipNonce,
     FeipPublicKey,
+    key_fingerprint,
 )
 
 __all__ = [
     "CiphertextError",
     "CryptoError",
+    "EncryptionEngine",
     "Febo",
     "FeboCiphertext",
     "FeboFunctionKey",
     "FeboMasterKey",
+    "FeboNonce",
     "FeboOp",
     "FeboPublicKey",
     "Feip",
     "FeipCiphertext",
     "FeipFunctionKey",
     "FeipMasterKey",
+    "FeipNonce",
     "FeipPublicKey",
     "FunctionKeyError",
     "UnsupportedOperationError",
+    "key_fingerprint",
+    "resolve_engine",
 ]

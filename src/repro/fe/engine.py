@@ -1,0 +1,324 @@
+"""Offline/online encryption engine for the client-side hot path.
+
+The paper's cost profile (Figures 3-5) is modular exponentiation; PR 1
+attacked the server half (decryption).  This module is the client-side
+twin: the classic offline/online split for DDH-style schemes.  Every
+FEIP encryption spends ``1 + eta`` full-width exponentiations on values
+that do not depend on the plaintext -- the nonce commitment ``g^r`` and
+the masks ``h_i^r`` -- and only a *small-exponent* ``g^{x_i}`` on the
+message itself.  Precomputing ``(r, g^r, h_1^r..h_eta^r)`` tuples ahead
+of time therefore moves essentially the whole encryption cost off the
+critical path: the online phase is one tiny comb-table walk plus one
+modular multiply per element.
+
+:class:`EncryptionEngine` owns per-public-key stores of precomputed
+:class:`~repro.fe.keys.FeipNonce` / :class:`~repro.fe.keys.FeboNonce`
+tuples and offers three ways to fill them:
+
+* :meth:`prefill_feip` / :meth:`prefill_febo` -- synchronous, in-process
+  (routed through an attached
+  :class:`~repro.matrix.parallel.SecureComputePool` when one is
+  configured, so idle workers produce material in bulk);
+* :meth:`prefill_async` -- a background daemon thread tops the store up
+  while the caller does other work;
+* nothing at all -- :meth:`encrypt_feip` falls back to computing a
+  fresh tuple on demand (counted in :attr:`misses`), so the engine is
+  always correct, just slower when cold.
+
+**Nonce hygiene is the safety property.**  Reusing ``r`` across two
+ciphertexts is an IND-CPA break (the ratio of the two ciphertexts
+reveals ``g^{x_i - x'_i}``), so the store hands every tuple out at most
+once: consumption is a single ``deque.popleft`` under a lock, atomic
+under both thread and pool concurrency, and each nonce carries the
+fingerprint of the public key it was built for so cross-key use raises
+instead of corrupting data.  ``tests/test_engine.py`` pins both
+properties.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from collections import deque
+from collections.abc import Sequence
+
+from repro.fe.errors import CiphertextError
+from repro.fe.febo import Febo
+from repro.fe.feip import Feip
+from repro.fe.keys import (
+    FeboCiphertext,
+    FeboNonce,
+    FeboPublicKey,
+    FeipCiphertext,
+    FeipNonce,
+    FeipPublicKey,
+    key_fingerprint,
+)
+from repro.mathutils.group import GroupParams, SchnorrGroup
+
+
+def make_feip_nonce(group: SchnorrGroup, mpk: FeipPublicKey) -> FeipNonce:
+    """Compute one offline FEIP tuple ``(r, g^r, h_i^r)`` (full cost)."""
+    r = group.random_exponent()
+    return FeipNonce(
+        r=r,
+        ct0=group.gexp(r),
+        masks=tuple(group.exp_cached(hi, r) for hi in mpk.h),
+        key_fp=key_fingerprint(mpk),
+    )
+
+
+def make_febo_nonce(group: SchnorrGroup, mpk: FeboPublicKey) -> FeboNonce:
+    """Compute one offline FEBO tuple ``(r, g^r, h^r)`` (full cost)."""
+    r = group.random_exponent()
+    return FeboNonce(
+        r=r,
+        cmt=group.gexp(r),
+        mask=group.exp_cached(mpk.h, r),
+        key_fp=key_fingerprint(mpk),
+    )
+
+
+class _NonceStore:
+    """Thread-safe FIFO of single-use nonces.
+
+    ``pop`` is the atomic consumption point: a tuple leaves the store
+    exactly once, whichever thread wins the lock.
+    """
+
+    def __init__(self):
+        self._items: deque = deque()
+        self._lock = threading.Lock()
+
+    def push_many(self, nonces) -> None:
+        with self._lock:
+            self._items.extend(nonces)
+
+    def pop(self):
+        with self._lock:
+            return self._items.popleft() if self._items else None
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+class EncryptionEngine:
+    """Precomputed-nonce encryption for FEIP and FEBO.
+
+    One engine serves any number of public keys (the CryptoNN client
+    encrypts under one FEIP key per vector length plus one FEBO key);
+    stores are keyed by the public-key fingerprint so material can never
+    cross keys.
+
+    Args:
+        params: the Schnorr group both schemes operate in.
+        rng: nonce randomness (defaults to a fresh OS-seeded Random).
+        pool: optional :class:`~repro.matrix.parallel.SecureComputePool`
+            used to produce offline material and bulk encryptions in
+            parallel.
+        workers: shortcut resolving the shared process-wide pool (same
+            policy as the server-side trainers); ignored when ``pool``
+            is given.
+    """
+
+    def __init__(self, params: GroupParams, rng: random.Random | None = None,
+                 pool=None, workers: int | None = None):
+        self.params = params
+        self.feip = Feip(params, rng=rng)
+        self.febo = Febo(params, rng=rng)
+        if pool is None and workers:
+            # deferred import: matrix.parallel imports fe modules
+            from repro.matrix.parallel import resolve_pool
+            pool = resolve_pool(None, workers)
+        self.pool = pool
+        self._feip_stores: dict[int, _NonceStore] = {}
+        self._febo_stores: dict[int, _NonceStore] = {}
+        self._stores_lock = threading.Lock()
+        self._fill_threads: list[threading.Thread] = []
+        # counters race without their own lock: += is a non-atomic
+        # read-modify-write even under the GIL
+        self._stats_lock = threading.Lock()
+        #: offline tuples produced / consumed / computed on demand
+        self.precomputed = 0
+        self.consumed = 0
+        self.misses = 0
+
+    def _count(self, attr: str, n: int = 1) -> None:
+        with self._stats_lock:
+            setattr(self, attr, getattr(self, attr) + n)
+
+    # -- stores ---------------------------------------------------------------
+    def _store(self, stores: dict[int, _NonceStore], mpk) -> _NonceStore:
+        fp = key_fingerprint(mpk)
+        with self._stores_lock:
+            store = stores.get(fp)
+            if store is None:
+                store = stores[fp] = _NonceStore()
+            return store
+
+    def available_feip(self, mpk: FeipPublicKey) -> int:
+        """Precomputed FEIP tuples currently banked for ``mpk``."""
+        return len(self._store(self._feip_stores, mpk))
+
+    def available_febo(self, mpk: FeboPublicKey) -> int:
+        """Precomputed FEBO tuples currently banked for ``mpk``."""
+        return len(self._store(self._febo_stores, mpk))
+
+    # -- offline phase --------------------------------------------------------
+    def prefill_feip(self, mpk: FeipPublicKey, count: int) -> int:
+        """Bank ``count`` offline FEIP tuples for ``mpk``; returns count.
+
+        Routed through the attached pool when one is present (workers
+        generate independent nonces from their own OS-seeded RNGs),
+        serial otherwise.
+        """
+        if count <= 0:
+            return 0
+        if self.pool is not None:
+            nonces, _ = self.pool.precompute_encryption(
+                self.params, feip_mpk=mpk, feip_count=count)
+        else:
+            group = self.feip.group
+            nonces = [make_feip_nonce(group, mpk) for _ in range(count)]
+        self._store(self._feip_stores, mpk).push_many(nonces)
+        self._count('precomputed', len(nonces))
+        return len(nonces)
+
+    def prefill_febo(self, mpk: FeboPublicKey, count: int) -> int:
+        """Bank ``count`` offline FEBO tuples for ``mpk``; returns count."""
+        if count <= 0:
+            return 0
+        if self.pool is not None:
+            _, nonces = self.pool.precompute_encryption(
+                self.params, febo_mpk=mpk, febo_count=count)
+        else:
+            group = self.febo.group
+            nonces = [make_febo_nonce(group, mpk) for _ in range(count)]
+        self._store(self._febo_stores, mpk).push_many(nonces)
+        self._count('precomputed', len(nonces))
+        return len(nonces)
+
+    def prefill_async(self, mpk, count: int) -> threading.Thread:
+        """Fill a store from a background daemon thread.
+
+        Dispatches on the key type; :meth:`drain_async` joins every
+        filler started this way.  The store's lock makes concurrent
+        fill-while-consume safe.
+        """
+        fill = (self.prefill_feip if isinstance(mpk, FeipPublicKey)
+                else self.prefill_febo)
+        thread = threading.Thread(target=fill, args=(mpk, count), daemon=True)
+        thread.start()
+        self._fill_threads.append(thread)
+        return thread
+
+    def drain_async(self, timeout: float | None = None) -> None:
+        """Join background fillers started by :meth:`prefill_async`."""
+        threads, self._fill_threads = self._fill_threads, []
+        for thread in threads:
+            thread.join(timeout)
+
+    # -- online phase ---------------------------------------------------------
+    def encrypt_feip(self, mpk: FeipPublicKey,
+                     x: Sequence[int]) -> FeipCiphertext:
+        """Encrypt ``x`` consuming one banked tuple (or compute on miss)."""
+        nonce = self._store(self._feip_stores, mpk).pop()
+        if nonce is None:
+            self._count('misses')
+            nonce = make_feip_nonce(self.feip.group, mpk)
+        else:
+            self._count('consumed')
+        return self.feip.encrypt(mpk, x, nonce=nonce)
+
+    def encrypt_febo(self, mpk: FeboPublicKey, x: int) -> FeboCiphertext:
+        """Encrypt ``x`` consuming one banked tuple (or compute on miss)."""
+        nonce = self._store(self._febo_stores, mpk).pop()
+        if nonce is None:
+            self._count('misses')
+            nonce = make_febo_nonce(self.febo.group, mpk)
+        else:
+            self._count('consumed')
+        return self.febo.encrypt(mpk, x, nonce=nonce)
+
+    # -- bulk helpers ---------------------------------------------------------
+    def encrypt_feip_columns(self, mpk: FeipPublicKey,
+                             columns: Sequence[Sequence[int]]
+                             ) -> list[FeipCiphertext]:
+        """Encrypt many vectors under one key.
+
+        Consumes banked tuples first; when the store cannot cover the
+        batch and a pool is attached, the uncovered remainder is
+        encrypted pool-parallel (workers generate their own nonces), so
+        bulk throughput scales with workers even without prefill.
+        """
+        store = self._store(self._feip_stores, mpk)
+        out: list[FeipCiphertext | None] = [None] * len(columns)
+        remainder: list[tuple[int, Sequence[int]]] = []
+        for j, column in enumerate(columns):
+            nonce = store.pop()
+            if nonce is None:
+                remainder.append((j, column))
+            else:
+                self._count('consumed')
+                out[j] = self.feip.encrypt(mpk, column, nonce=nonce)
+        if remainder:
+            if self.pool is not None:
+                # not banked material, so still misses for anyone sizing
+                # a prefill -- just misses served in parallel
+                self._count('misses', len(remainder))
+                cts = self.pool.secure_encrypt_columns(
+                    self.params, mpk, [list(col) for _, col in remainder])
+                for (j, _), ct in zip(remainder, cts):
+                    out[j] = ct
+            else:
+                for j, column in remainder:
+                    self._count('misses')
+                    out[j] = self.feip.encrypt(
+                        mpk, column, nonce=make_feip_nonce(self.feip.group,
+                                                           mpk))
+        return out
+
+    def encrypt_febo_values(self, mpk: FeboPublicKey,
+                            values: Sequence[int]) -> list[FeboCiphertext]:
+        """Encrypt many scalars under one key (pool-parallel remainder)."""
+        store = self._store(self._febo_stores, mpk)
+        out: list[FeboCiphertext | None] = [None] * len(values)
+        remainder: list[tuple[int, int]] = []
+        for j, value in enumerate(values):
+            nonce = store.pop()
+            if nonce is None:
+                remainder.append((j, int(value)))
+            else:
+                self._count('consumed')
+                out[j] = self.febo.encrypt(mpk, value, nonce=nonce)
+        if remainder:
+            if self.pool is not None:
+                self._count('misses', len(remainder))
+                cts = self.pool.secure_encrypt_values(
+                    self.params, mpk, [v for _, v in remainder])
+                for (j, _), ct in zip(remainder, cts):
+                    out[j] = ct
+            else:
+                for j, value in remainder:
+                    self._count('misses')
+                    out[j] = self.febo.encrypt(
+                        mpk, value, nonce=make_febo_nonce(self.febo.group,
+                                                          mpk))
+        return out
+
+
+def resolve_engine(engine: EncryptionEngine | None, params: GroupParams,
+                   workers: int | None = None,
+                   rng: random.Random | None = None
+                   ) -> EncryptionEngine | None:
+    """Single policy for "which engine does this component use".
+
+    An explicit engine wins; otherwise a configured worker count builds
+    one over the shared process-wide pool; otherwise None (the caller
+    keeps its serial path).
+    """
+    if engine is not None:
+        return engine
+    if workers:
+        return EncryptionEngine(params, rng=rng, workers=workers)
+    return None

@@ -32,8 +32,19 @@ from __future__ import annotations
 import enum
 import random
 
-from repro.fe.errors import FunctionKeyError, UnsupportedOperationError
-from repro.fe.keys import FeboCiphertext, FeboFunctionKey, FeboMasterKey, FeboPublicKey
+from repro.fe.errors import (
+    CiphertextError,
+    FunctionKeyError,
+    UnsupportedOperationError,
+)
+from repro.fe.keys import (
+    FeboCiphertext,
+    FeboFunctionKey,
+    FeboMasterKey,
+    FeboNonce,
+    FeboPublicKey,
+    key_fingerprint,
+)
 from repro.mathutils.dlog import GLOBAL_SOLVER_CACHE, DlogSolver, SolverCache
 from repro.mathutils.group import GroupParams, SchnorrGroup
 
@@ -75,9 +86,25 @@ class Febo:
             FeboMasterKey(s=s),
         )
 
-    def encrypt(self, mpk: FeboPublicKey, x: int) -> FeboCiphertext:
-        """Encrypt the signed integer ``x``."""
+    def encrypt(self, mpk: FeboPublicKey, x: int,
+                nonce: FeboNonce | None = None) -> FeboCiphertext:
+        """Encrypt the signed integer ``x``.
+
+        With a precomputed ``nonce`` (commitment + mask) only the
+        online half runs: one small-exponent ``g^x`` and one multiply.
+        Single-use and key-fingerprint rules as in
+        :meth:`repro.fe.feip.Feip.encrypt`.
+        """
         group = self.group
+        if nonce is not None:
+            if nonce.key_fp != key_fingerprint(mpk):
+                raise CiphertextError(
+                    "nonce was precomputed for a different public key"
+                )
+            return FeboCiphertext(
+                cmt=nonce.cmt,
+                ct=group.mul(nonce.mask, group.gexp(int(x))),
+            )
         r = group.random_exponent()
         # g and h are reused across every encryption under this key, so
         # the full-width exponentiations go through fixed-base tables.

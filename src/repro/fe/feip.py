@@ -13,6 +13,17 @@ and a plaintext weight vector ``y`` baked into the function key:
 
 Security is selective IND-CPA under DDH (proof in the original paper; the
 CryptoNN paper reuses it verbatim).
+
+**Offline/online split.**  Encryption factors into a plaintext-independent
+offline half -- sample ``r``, compute ``ct_0 = g^r`` and the masks
+``h_i^r`` (all full-width exponentiations) -- and an online half that is
+one *small-exponent* ``g^{x_i}`` plus one modular multiply per element.
+:meth:`Feip.encrypt` accepts a precomputed
+:class:`~repro.fe.keys.FeipNonce` carrying the offline half;
+:class:`~repro.fe.engine.EncryptionEngine` banks such tuples (serially,
+from a background thread, or pool-parallel) and guarantees each is
+consumed exactly once -- nonce reuse breaks IND-CPA, and a nonce built
+for a different public key is rejected by fingerprint.
 """
 
 from __future__ import annotations
@@ -21,7 +32,14 @@ import random
 from collections.abc import Sequence
 
 from repro.fe.errors import CiphertextError, FunctionKeyError
-from repro.fe.keys import FeipCiphertext, FeipFunctionKey, FeipMasterKey, FeipPublicKey
+from repro.fe.keys import (
+    FeipCiphertext,
+    FeipFunctionKey,
+    FeipMasterKey,
+    FeipNonce,
+    FeipPublicKey,
+    key_fingerprint,
+)
 from repro.mathutils.dlog import GLOBAL_SOLVER_CACHE, DlogSolver, SolverCache
 from repro.mathutils.group import GroupParams, SchnorrGroup
 
@@ -58,13 +76,32 @@ class Feip:
         sk = sum(int(yi) * si for yi, si in zip(y, msk.s)) % q
         return FeipFunctionKey(y=tuple(int(v) for v in y), sk=sk)
 
-    def encrypt(self, mpk: FeipPublicKey, x: Sequence[int]) -> FeipCiphertext:
-        """Encrypt integer vector ``x`` (signed entries allowed)."""
+    def encrypt(self, mpk: FeipPublicKey, x: Sequence[int],
+                nonce: FeipNonce | None = None) -> FeipCiphertext:
+        """Encrypt integer vector ``x`` (signed entries allowed).
+
+        With a precomputed ``nonce`` only the online half runs: one
+        small-exponent ``g^{x_i}`` and one multiply per element.  The
+        nonce must have been built for this ``mpk`` (fingerprint
+        checked) and must never be passed twice -- single-use is the
+        caller's contract (the engine's store enforces it).
+        """
         if len(x) != mpk.eta:
             raise CiphertextError(
                 f"plaintext length {len(x)} != key length {mpk.eta}"
             )
         group = self.group
+        if nonce is not None:
+            if nonce.key_fp != key_fingerprint(mpk) or nonce.eta != mpk.eta:
+                raise CiphertextError(
+                    "nonce was precomputed for a different public key"
+                )
+            ct0 = nonce.ct0
+            ct = tuple(
+                group.mul(mask, group.gexp(int(xi)))
+                for mask, xi in zip(nonce.masks, x)
+            )
+            return FeipCiphertext(ct0=ct0, ct=ct)
         r = group.random_exponent()
         # g and the h_i are reused across every encryption under this key,
         # so all full-width exponentiations go through fixed-base tables.

@@ -12,6 +12,17 @@ from dataclasses import dataclass, field
 from repro.mathutils.group import GroupParams
 
 
+def key_fingerprint(mpk) -> int:
+    """Stable fingerprint of a public key for nonce/key binding checks.
+
+    Relies on the frozen dataclasses hashing by value; int hashing is
+    deterministic (unaffected by PYTHONHASHSEED), so fingerprints agree
+    across processes -- pool workers precompute nonces the parent
+    consumes.
+    """
+    return hash(mpk)
+
+
 # --------------------------------------------------------------------------
 # FEIP (inner product) -- Abdalla et al., reproduced in paper Section II-B
 # --------------------------------------------------------------------------
@@ -62,6 +73,48 @@ class FeipCiphertext:
     @property
     def eta(self) -> int:
         return len(self.ct)
+
+
+@dataclass(frozen=True)
+class FeipNonce:
+    """Precomputed offline half of one FEIP encryption.
+
+    Everything about ``Encrypt(mpk, x)`` that does not depend on the
+    plaintext: the nonce ``r``, ``ct_0 = g^r`` and the per-slot masks
+    ``h_i^r``.  The online phase is then one small-exponent ``g^{x_i}``
+    plus one modular multiply per element.
+
+    A nonce is single-use: reusing ``r`` across two ciphertexts leaks
+    ``g^{x_i - x'_i}`` and breaks IND-CPA, so consumers (the
+    :class:`~repro.fe.engine.EncryptionEngine` store) must hand each
+    tuple out exactly once.  ``key_fp`` fingerprints the public key the
+    masks were computed under; :meth:`Feip.encrypt` rejects a nonce
+    carrying the wrong fingerprint instead of silently producing an
+    undecryptable ciphertext.
+    """
+
+    r: int
+    ct0: int
+    masks: tuple[int, ...]
+    key_fp: int
+
+    @property
+    def eta(self) -> int:
+        return len(self.masks)
+
+
+@dataclass(frozen=True)
+class FeboNonce:
+    """Precomputed offline half of one FEBO encryption.
+
+    The commitment ``cmt = g^r`` and mask ``h^r``; single-use, key
+    fingerprinted -- see :class:`FeipNonce`.
+    """
+
+    r: int
+    cmt: int
+    mask: int
+    key_fp: int
 
 
 # --------------------------------------------------------------------------

@@ -6,6 +6,15 @@ expensive part -- modular exponentiation plus the discrete log -- is pure
 CPU work on Python ints, so we parallelize across *processes* (threads
 would serialize on the GIL).
 
+The same pool also serves the *client* side: the ``encrypt``
+configuration kind lets idle workers produce offline encryption
+material in bulk (:meth:`SecureComputePool.precompute_encryption`) or
+run whole encryptions (:meth:`SecureComputePool.secure_encrypt_columns`
+/ :meth:`SecureComputePool.secure_encrypt_values`).  Workers draw
+nonces from their own OS-seeded RNGs -- each worker process constructs
+a fresh ``Feip``/``Febo`` on config install, so nonce streams are
+independent across workers and dispatches.
+
 Worker processes live in a persistent :class:`SecureComputePool`: they
 are forked once and reused across every ``secure_dot`` /
 ``secure_elementwise`` / ``secure_convolve`` call for the lifetime of a
@@ -34,14 +43,17 @@ from functools import partial
 
 import numpy as np
 
+from repro.fe.engine import make_febo_nonce, make_feip_nonce
 from repro.fe.febo import Febo
 from repro.fe.feip import Feip
 from repro.fe.keys import (
     FeboCiphertext,
     FeboFunctionKey,
+    FeboNonce,
     FeboPublicKey,
     FeipCiphertext,
     FeipFunctionKey,
+    FeipNonce,
     FeipPublicKey,
 )
 from repro.matrix.secure_matrix import EncryptedMatrix
@@ -90,6 +102,12 @@ def _install_config(config: tuple) -> dict:
         febo = Febo(params)
         state = dict(febo=febo, febo_mpk=mpk,
                      solver=GLOBAL_SOLVER_CACHE.get(febo.group, bound))
+    elif kind == "encrypt":
+        params, feip_mpk, febo_mpk = payload
+        # fresh Feip/Febo per worker => fresh OS-seeded RNG per worker,
+        # so nonce streams never collide across the pool
+        state = dict(feip=Feip(params), febo=Febo(params),
+                     feip_mpk=feip_mpk, febo_mpk=febo_mpk)
     else:  # pragma: no cover - defensive
         raise ValueError(f"unknown pool configuration kind {kind!r}")
     while len(_WORKER_CONFIGS) >= _WORKER_CONFIGS_MAX:
@@ -124,6 +142,34 @@ def _elementwise_cell(
     return i, j, solver.solve(element)
 
 
+def _feip_nonce_chunk(config: tuple, count: int) -> list[FeipNonce]:
+    state = _install_config(config)
+    feip: Feip = state["feip"]
+    mpk = state["feip_mpk"]
+    return [make_feip_nonce(feip.group, mpk) for _ in range(count)]
+
+
+def _febo_nonce_chunk(config: tuple, count: int) -> list[FeboNonce]:
+    state = _install_config(config)
+    febo: Febo = state["febo"]
+    mpk = state["febo_mpk"]
+    return [make_febo_nonce(febo.group, mpk) for _ in range(count)]
+
+
+def _encrypt_column(config: tuple, task: tuple[int, list[int]]
+                    ) -> tuple[int, FeipCiphertext]:
+    state = _install_config(config)
+    j, values = task
+    return j, state["feip"].encrypt(state["feip_mpk"], values)
+
+
+def _encrypt_value(config: tuple, task: tuple[int, int]
+                   ) -> tuple[int, FeboCiphertext]:
+    state = _install_config(config)
+    j, value = task
+    return j, state["febo"].encrypt(state["febo_mpk"], value)
+
+
 # -- the persistent pool ------------------------------------------------------
 
 class SecureComputePool:
@@ -140,11 +186,15 @@ class SecureComputePool:
     _seq = itertools.count(1)
 
     def __init__(self, workers: int | None = None):
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be >= 1")
         self.workers = workers or default_workers()
         self._executor: ProcessPoolExecutor | None = None
-        # per-kind (stamped config, payload) -- training alternates dot
-        # and elementwise dispatches, and both must stay warm
-        self._configs: dict[str, tuple[tuple, tuple]] = {}
+        # (kind, payload) -> stamped config -- training alternates dot,
+        # elementwise and encrypt dispatches (and a client may juggle
+        # several public keys), so a handful of configs stay warm;
+        # mirrors the worker-side _WORKER_CONFIGS_MAX cap
+        self._configs: dict[tuple, tuple] = {}
         self._lock = threading.RLock()
         #: executors constructed over the pool's lifetime -- stays at 1
         #: however many secure_* calls run (asserted by the perf smoke
@@ -184,19 +234,22 @@ class SecureComputePool:
 
         Returns the stamped config (pass it to the dispatch that uses
         it, so concurrent callers on a shared pool cannot clobber each
-        other).  Re-configuring a kind with an identical payload reuses
+        other).  Re-configuring with an identical (kind, payload) reuses
         the previous stamp, so repeated calls against stable keys/bounds
         skip both the pickling and the worker-side rebuild -- also when
-        dot and elementwise dispatches alternate, as every training
-        step does.
+        dot, elementwise and encrypt dispatches alternate, as every
+        training step (and a multi-key client) does.
         """
         with self._lock:
-            cached = self._configs.get(kind)
-            if cached is not None and cached[1] == payload:
-                return cached[0]
+            key = (kind, payload)
+            cached = self._configs.get(key)
+            if cached is not None:
+                return cached
             config = (next(self._seq), kind,
                       pickle.dumps(payload, pickle.HIGHEST_PROTOCOL))
-            self._configs[kind] = (config, payload)
+            while len(self._configs) >= _WORKER_CONFIGS_MAX:
+                self._configs.pop(next(iter(self._configs)))
+            self._configs[key] = config
             return config
 
     def configure_dot(self, params: GroupParams, mpk: FeipPublicKey,
@@ -207,21 +260,45 @@ class SecureComputePool:
                               bound: int) -> tuple:
         return self.configure("elementwise", (params, mpk, bound))
 
-    def _map(self, fn, config: tuple, tasks: Sequence,
-             parallelism_hint: int) -> list:
+    def configure_encrypt(self, params: GroupParams,
+                          feip_mpk: FeipPublicKey | None = None,
+                          febo_mpk: FeboPublicKey | None = None) -> tuple:
+        return self.configure("encrypt", (params, feip_mpk, febo_mpk))
+
+    def _map(self, fn, config: tuple, tasks, parallelism_hint: int,
+             n_tasks: int | None = None) -> list:
         """Dispatch ``tasks`` under ``config``, surviving one worker crash.
+
+        ``tasks`` is either a sequence or a zero-argument callable
+        returning a fresh iterable.  The callable form *streams*:
+        ``executor.map`` pulls and pickles tasks chunk by chunk as
+        workers free up instead of the caller materializing the full
+        task list first (``n_tasks`` then sizes the chunks), and the
+        crash retry simply re-invokes the factory.
 
         A crashed worker breaks the whole executor; unlike the old
         executor-per-call code that recovered for free, a persistent
         pool must rebuild explicitly, so the dispatch is retried once on
         a fresh executor before the error propagates.
         """
-        chunksize = max(1, len(tasks) // (self.workers * parallelism_hint) or 1)
+        if callable(tasks):
+            factory = tasks
+        else:
+            # a bare iterator would be exhausted by the time the crash
+            # retry re-submits it, silently dropping results -- pin
+            # non-replayable iterables down first
+            if not isinstance(tasks, Sequence):
+                tasks = tuple(tasks)
+            factory = lambda: tasks  # noqa: E731
+        if n_tasks is None:
+            n_tasks = len(tasks)
+        chunksize = max(1, n_tasks // (self.workers * parallelism_hint) or 1)
         self.dispatches += 1
         bound_fn = partial(fn, config)
         executor = self._ensure_executor()
         try:
-            return list(executor.map(bound_fn, tasks, chunksize=chunksize))
+            return list(executor.map(bound_fn, factory(),
+                                     chunksize=chunksize))
         except BrokenProcessPool:
             with self._lock:
                 # replace only the executor that failed: a concurrent
@@ -230,7 +307,7 @@ class SecureComputePool:
                 if self._executor is executor:
                     executor.shutdown(wait=False)
                     self._executor = None
-            return list(self._ensure_executor().map(bound_fn, tasks,
+            return list(self._ensure_executor().map(bound_fn, factory(),
                                                     chunksize=chunksize))
 
     # -- secure computations ---------------------------------------------------
@@ -248,14 +325,19 @@ class SecureComputePool:
         return z
 
     def secure_elementwise(self, params: GroupParams, mpk: FeboPublicKey,
-                           tasks: Sequence[tuple[int, int, FeboCiphertext,
-                                                 FeboFunctionKey]],
-                           shape: tuple[int, int], bound: int) -> np.ndarray:
-        """Decrypt ``(i, j, ciphertext, key)`` tasks into a (rows, cols) grid."""
+                           tasks, shape: tuple[int, int],
+                           bound: int) -> np.ndarray:
+        """Decrypt ``(i, j, ciphertext, key)`` tasks into a (rows, cols) grid.
+
+        ``tasks`` may be a sequence or a zero-argument callable yielding
+        the tasks; the callable form streams tuples to the workers
+        instead of materializing ``rows * cols`` of them up front.
+        """
         config = self.configure_elementwise(params, mpk, bound)
         z = np.empty(shape, dtype=object)
-        for i, j, value in self._map(_elementwise_cell, config,
-                                     list(tasks), 8):
+        n_tasks = shape[0] * shape[1]
+        for i, j, value in self._map(_elementwise_cell, config, tasks, 8,
+                                     n_tasks=n_tasks):
             z[i, j] = value
         return z
 
@@ -269,6 +351,67 @@ class SecureComputePool:
         keys = list(keys)
         return self.secure_dot(params, mpk, windows, keys, bound) \
             .reshape(len(keys), out_h, out_w)
+
+    # -- client-side encryption dispatches -------------------------------------
+    def _nonce_chunks(self, count: int) -> list[int]:
+        """Split ``count`` nonces into per-worker task chunks."""
+        per_chunk = max(1, -(-count // (self.workers * 2)))
+        chunks = [per_chunk] * (count // per_chunk)
+        if count % per_chunk:
+            chunks.append(count % per_chunk)
+        return chunks
+
+    def precompute_encryption(self, params: GroupParams,
+                              feip_mpk: FeipPublicKey | None = None,
+                              febo_mpk: FeboPublicKey | None = None,
+                              feip_count: int = 0, febo_count: int = 0
+                              ) -> tuple[list[FeipNonce], list[FeboNonce]]:
+        """Produce offline encryption material on the worker pool.
+
+        Returns ``(feip_nonces, febo_nonces)`` with the requested
+        counts.  Workers draw from independent OS-seeded RNGs, so the
+        returned nonces are distinct with overwhelming probability (the
+        engine's nonce-hygiene test pins this).
+        """
+        config = self.configure_encrypt(params, feip_mpk, febo_mpk)
+        feip_nonces: list[FeipNonce] = []
+        febo_nonces: list[FeboNonce] = []
+        if feip_count > 0:
+            if feip_mpk is None:
+                raise ValueError("feip_count > 0 requires feip_mpk")
+            for batch in self._map(_feip_nonce_chunk, config,
+                                   self._nonce_chunks(feip_count), 2):
+                feip_nonces.extend(batch)
+        if febo_count > 0:
+            if febo_mpk is None:
+                raise ValueError("febo_count > 0 requires febo_mpk")
+            for batch in self._map(_febo_nonce_chunk, config,
+                                   self._nonce_chunks(febo_count), 2):
+                febo_nonces.extend(batch)
+        return feip_nonces, febo_nonces
+
+    def secure_encrypt_columns(self, params: GroupParams,
+                               mpk: FeipPublicKey,
+                               columns: Sequence[Sequence[int]]
+                               ) -> list[FeipCiphertext]:
+        """FEIP-encrypt integer vectors in parallel (workers own the nonces)."""
+        config = self.configure_encrypt(params, feip_mpk=mpk)
+        out: list[FeipCiphertext | None] = [None] * len(columns)
+        tasks = [(j, [int(v) for v in col]) for j, col in enumerate(columns)]
+        for j, ct in self._map(_encrypt_column, config, tasks, 4):
+            out[j] = ct
+        return out
+
+    def secure_encrypt_values(self, params: GroupParams,
+                              mpk: FeboPublicKey,
+                              values: Sequence[int]) -> list[FeboCiphertext]:
+        """FEBO-encrypt integer scalars in parallel (workers own the nonces)."""
+        config = self.configure_encrypt(params, febo_mpk=mpk)
+        out: list[FeboCiphertext | None] = [None] * len(values)
+        tasks = [(j, int(v)) for j, v in enumerate(values)]
+        for j, ct in self._map(_encrypt_value, config, tasks, 8):
+            out[j] = ct
+        return out
 
 
 # -- process-wide default pools ----------------------------------------------
@@ -341,11 +484,11 @@ def secure_elementwise_parallel(params: GroupParams, mpk: FeboPublicKey,
     """Parallel version of :meth:`SecureMatrixScheme.secure_elementwise`."""
     elements = encrypted.require_febo()
     rows, cols = encrypted.shape
-    tasks = [
+    tasks = lambda: (  # noqa: E731 - streamed, see SecureComputePool._map
         (i, j, elements[i][j], keys[i][j])
         for i in range(rows)
         for j in range(cols)
-    ]
+    )
     pool = pool or get_compute_pool(workers)
     return pool.secure_elementwise(params, mpk, tasks, (rows, cols), bound)
 

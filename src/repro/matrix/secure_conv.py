@@ -80,11 +80,20 @@ class EncryptedWindows:
 
 
 class SecureConvolution:
-    """Algorithm 3 with explicit client / authority / server methods."""
+    """Algorithm 3 with explicit client / authority / server methods.
 
-    def __init__(self, feip: Feip, mpk: FeipPublicKey | None = None):
+    An optional :class:`~repro.fe.engine.EncryptionEngine` accelerates
+    the client side: window encryption consumes precomputed nonce
+    tuples (and falls through to pool-parallel bulk encryption when the
+    engine has a pool), instead of paying one full-width ``h_i^r`` per
+    window element online.
+    """
+
+    def __init__(self, feip: Feip, mpk: FeipPublicKey | None = None,
+                 engine=None):
         self.feip = feip
         self.mpk = mpk
+        self.engine = engine
 
     def setup(self, window_length: int) -> FeipMasterKey:
         """Authority: generate a key pair for ``window_length`` vectors."""
@@ -107,7 +116,10 @@ class SecureConvolution:
             raise CiphertextError(
                 f"window length {len(windows[0])} != key length {self.mpk.eta}"
             )
-        ciphertexts = [self.feip.encrypt(self.mpk, w) for w in windows]
+        if self.engine is not None:
+            ciphertexts = self.engine.encrypt_feip_columns(self.mpk, windows)
+        else:
+            ciphertexts = [self.feip.encrypt(self.mpk, w) for w in windows]
         return EncryptedWindows(out_shape=out_shape,
                                 window_length=self.mpk.eta,
                                 windows=ciphertexts)

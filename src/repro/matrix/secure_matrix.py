@@ -116,7 +116,11 @@ class SecureMatrixScheme:
     When a persistent :class:`~repro.matrix.parallel.SecureComputePool`
     is attached (constructor argument or :meth:`use_pool`), the
     server-side computations route their decryption loops through it;
-    without one they run serially in-process.
+    without one they run serially in-process.  Symmetrically, an
+    attached :class:`~repro.fe.engine.EncryptionEngine`
+    (:meth:`use_engine`) routes the client-side
+    :meth:`pre_process_encryption` through precomputed nonce material
+    and pool-parallel bulk encryption.
     """
 
     def __init__(self, params: GroupParams,
@@ -124,17 +128,23 @@ class SecureMatrixScheme:
                  febo_mpk: FeboPublicKey | None = None,
                  rng: random.Random | None = None,
                  solver_cache: SolverCache | None = None,
-                 pool=None):
+                 pool=None, engine=None):
         self.params = params
         self.feip = Feip(params, rng=rng, solver_cache=solver_cache)
         self.febo = Febo(params, rng=rng, solver_cache=solver_cache)
         self.feip_mpk = feip_mpk
         self.febo_mpk = febo_mpk
         self.pool = pool
+        self.engine = engine
 
     def use_pool(self, pool) -> "SecureMatrixScheme":
         """Attach (or detach, with None) a persistent compute pool."""
         self.pool = pool
+        return self
+
+    def use_engine(self, engine) -> "SecureMatrixScheme":
+        """Attach (or detach, with None) an offline/online encryption engine."""
+        self.engine = engine
         return self
 
     # -- setup (authority) ---------------------------------------------------
@@ -161,17 +171,29 @@ class SecureMatrixScheme:
                     f"FEIP key supports columns of length {self.feip_mpk.eta}, "
                     f"matrix has {rows} rows"
                 )
-            feip_columns = [
-                self.feip.encrypt(self.feip_mpk, list(x[:, j]))
-                for j in range(cols)
-            ]
+            if self.engine is not None:
+                feip_columns = self.engine.encrypt_feip_columns(
+                    self.feip_mpk, [list(x[:, j]) for j in range(cols)])
+            else:
+                feip_columns = [
+                    self.feip.encrypt(self.feip_mpk, list(x[:, j]))
+                    for j in range(cols)
+                ]
         if with_febo:
             if self.febo_mpk is None:
                 raise CiphertextError("no FEBO public key; run setup() first")
-            febo_elements = [
-                [self.febo.encrypt(self.febo_mpk, x[i, j]) for j in range(cols)]
-                for i in range(rows)
-            ]
+            if self.engine is not None:
+                flat = self.engine.encrypt_febo_values(
+                    self.febo_mpk, [x[i, j] for i in range(rows)
+                                    for j in range(cols)])
+                febo_elements = [flat[i * cols:(i + 1) * cols]
+                                 for i in range(rows)]
+            else:
+                febo_elements = [
+                    [self.febo.encrypt(self.febo_mpk, x[i, j])
+                     for j in range(cols)]
+                    for i in range(rows)
+                ]
         return EncryptedMatrix((rows, cols), feip_columns, febo_elements)
 
     # -- authority side -----------------------------------------------------------
@@ -236,11 +258,14 @@ class SecureMatrixScheme:
         if len(keys) != rows or any(len(r) != cols for r in keys):
             raise UnsupportedOperationError("key matrix shape mismatch")
         if self.pool is not None:
-            tasks = [
+            # a factory, not a list: the pool streams task tuples to the
+            # workers chunk by chunk instead of materializing rows*cols
+            # pickled tuples before the first dispatch
+            tasks = lambda: (  # noqa: E731
                 (i, j, elements[i][j], keys[i][j])
                 for i in range(rows)
                 for j in range(cols)
-            ]
+            )
             return self.pool.secure_elementwise(self.params, self.febo_mpk,
                                                 tasks, (rows, cols), bound)
         solver = self.febo.solver_for(bound)

@@ -49,6 +49,11 @@ class AuthorityService(FramedService):
                  port: int = 0, *, max_frame_bytes: int = MAX_FRAME_BYTES):
         super().__init__(host, port, max_frame_bytes=max_frame_bytes)
         self.authority = authority
+        # a long-running service must also bound the *entity's* logical
+        # accounting log, which grows two records per key exchange; the
+        # socket-side per-connection logs are bounded by the base class
+        if authority.traffic.max_records is None:
+            authority.traffic.max_records = self.MAX_RECORDS_PER_LOG
         # derivations run off-loop (paper-scale groups take real CPU
         # time) but strictly one at a time: TrustedAuthority mutates
         # shared state (key pairs, counters, traffic) un-locked

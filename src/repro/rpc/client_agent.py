@@ -28,15 +28,24 @@ def upload_shard(authority_address: tuple[str, int],
                  *, name: str = protocol.CLIENT,
                  label_mapper: LabelMapper | None = None,
                  rng: random.Random | None = None,
+                 workers: int | None = None,
                  timeout: float = 120.0) -> dict:
     """Encrypt one shard and deliver it to the training server.
+
+    ``workers`` parallelizes the local encryption the same way the
+    server parallelizes decryption: the client's
+    :class:`~repro.fe.engine.EncryptionEngine` banks offline nonce
+    material on a :class:`~repro.matrix.parallel.SecureComputePool`
+    before the encryption loop runs online-only.  Plaintext still never
+    leaves the process; worker processes never touch sockets.
 
     Returns a summary with the server's acknowledgement and the byte
     count that crossed each connection.
     """
     with RemoteAuthority(*authority_address, name=name, rng=rng,
                          timeout=timeout) as authority:
-        client = Client(authority, label_mapper=label_mapper, name=name)
+        client = Client(authority, label_mapper=label_mapper, name=name,
+                        workers=workers)
         dataset = client.encrypt_tabular(features, labels, num_classes)
         with RpcEndpoint(*server_address, name=name, peer=protocol.SERVER,
                          timeout=timeout) as server:

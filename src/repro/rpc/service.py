@@ -41,10 +41,14 @@ class FramedService:
 
     #: Cap on distinct per-connection logs; connections beyond it share
     #: one ``"overflow"`` log so a long-lived service facing churning
-    #: clients cannot grow ``connection_traffic`` without bound.  (The
-    #: records *inside* a log still grow with traffic -- totals-only
-    #: aggregation is an open item, see ROADMAP.)
+    #: clients cannot grow ``connection_traffic`` without bound.
     MAX_CONNECTION_LOGS = 1024
+
+    #: Cap on records *inside* each per-connection log: past it the log
+    #: rotates, folding the oldest records into per-(sender, receiver,
+    #: kind) totals, so memory stays bounded on a weeks-long service
+    #: while ``total_bytes``/``message_count`` stay lifetime-exact.
+    MAX_RECORDS_PER_LOG = 4096
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
                  max_frame_bytes: int = MAX_FRAME_BYTES):
@@ -120,7 +124,7 @@ class FramedService:
                             self.MAX_CONNECTION_LOGS:
                         label = "overflow"
                     log = self.connection_traffic.setdefault(
-                        label, TrafficLog())
+                        label, TrafficLog(max_records=self.MAX_RECORDS_PER_LOG))
                 log.record(sender, self.entity_name,
                            str(header.get("kind")), len(body))
                 ctx = None

@@ -14,6 +14,22 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["frobnicate"])
 
+    def test_client_upload_accepts_workers(self):
+        args = build_parser().parse_args(
+            ["client-upload", "--authority-port", "1", "--server-port", "2",
+             "--workers", "3"])
+        assert args.workers == 3
+
+    def test_client_upload_workers_default_serial(self):
+        args = build_parser().parse_args(
+            ["client-upload", "--authority-port", "1", "--server-port", "2"])
+        assert args.workers is None
+
+    def test_client_upload_rejects_nonpositive_workers(self):
+        with pytest.raises(SystemExit, match="--workers"):
+            main(["client-upload", "--authority-port", "1",
+                  "--server-port", "2", "--workers", "0"])
+
 
 class TestInfoAndDemo:
     def test_info(self, capsys):

@@ -45,3 +45,75 @@ class TestTrafficLog:
         record = TrafficRecord("a", "b", "x", 1)
         with pytest.raises(AttributeError):
             record.n_bytes = 2
+
+
+class TestBoundedTrafficLog:
+    """Rotation past ``max_records``: memory bounded, aggregates exact."""
+
+    def test_record_list_stays_bounded(self):
+        log = TrafficLog(max_records=10)
+        for i in range(1000):
+            log.record("c", "s", "x", i)
+        assert len(log.records) <= 10
+
+    def test_aggregates_survive_rotation_exactly(self):
+        bounded = TrafficLog(max_records=8)
+        unbounded = TrafficLog()
+        for i in range(200):
+            sender = f"client-{i % 3}"
+            kind = "x" if i % 2 else "y"
+            for log in (bounded, unbounded):
+                log.record(sender, "server", kind, i)
+        assert bounded.total_bytes() == unbounded.total_bytes()
+        assert bounded.message_count() == unbounded.message_count()
+        assert bounded.by_kind() == unbounded.by_kind()
+        for s in ("client-0", "client-1", "client-2"):
+            assert bounded.total_bytes(sender=s) == \
+                unbounded.total_bytes(sender=s)
+        for k in ("x", "y"):
+            assert bounded.total_bytes(kind=k) == unbounded.total_bytes(kind=k)
+            assert bounded.message_count(k) == unbounded.message_count(k)
+        assert bounded.total_bytes(sender="client-1", receiver="server",
+                                   kind="x") == \
+            unbounded.total_bytes(sender="client-1", receiver="server",
+                                  kind="x")
+
+    def test_recent_records_remain_inspectable(self):
+        log = TrafficLog(max_records=4)
+        for i in range(10):
+            log.record("c", "s", "x", i)
+        # the newest records are still individually visible
+        assert log.records[-1].n_bytes == 9
+
+    def test_clear_resets_rotated_totals(self):
+        log = TrafficLog(max_records=2)
+        for i in range(10):
+            log.record("c", "s", "x", 1)
+        log.clear()
+        assert log.total_bytes() == 0
+        assert log.message_count() == 0
+
+    def test_unbounded_default_never_rotates(self):
+        log = TrafficLog()
+        for i in range(5000):
+            log.record("c", "s", "x", 1)
+        assert len(log.records) == 5000
+        assert not log.rotated
+
+    def test_framed_service_logs_are_bounded(self):
+        from repro.rpc.service import FramedService
+
+        assert FramedService.MAX_RECORDS_PER_LOG is not None
+
+    def test_authority_service_bounds_entity_log(self):
+        import random
+
+        from repro.core.config import CryptoNNConfig
+        from repro.core.entities import TrustedAuthority
+        from repro.rpc.authority_service import AuthorityService
+
+        authority = TrustedAuthority(CryptoNNConfig(security_bits=32),
+                                     rng=random.Random(0))
+        assert authority.traffic.max_records is None
+        service = AuthorityService(authority)
+        assert authority.traffic.max_records == service.MAX_RECORDS_PER_LOG

@@ -406,6 +406,44 @@ class TestEndToEndLoopback:
         with pytest.raises(RpcError, match="closed"):
             endpoint.request(msgs.PublicParamsRequest())
 
+    def test_upload_with_workers_is_byte_exact(self):
+        """`--workers N` parallel encryption changes neither the bytes
+        on the wire nor the training trajectory: decryption recovers
+        exact integers, so nonce provenance cannot leak into floats."""
+        from repro.matrix.parallel import shutdown_compute_pools
+
+        shards = _make_shards()
+        expected_accuracy = _in_process_accuracy(shards)
+        authority = TrustedAuthority(CryptoNNConfig(),
+                                     rng=random.Random(SEED))
+        auth_thread = ServiceThread(AuthorityService(authority))
+        auth_addr = auth_thread.start()
+        service = TrainingService(
+            *auth_addr, expected_clients=len(shards), hidden=HIDDEN,
+            epochs=EPOCHS, batch_size=BATCH_SIZE, learning_rate=LR,
+            seed=SEED)
+        train_thread = ServiceThread(service)
+        train_addr = train_thread.start()
+        try:
+            uploads = [
+                upload_shard(auth_addr, train_addr, x, y, 2,
+                             name=f"clinic-{i}",
+                             rng=random.Random(100 + i), workers=1)
+                for i, (x, y) in enumerate(shards)
+            ]
+            train_thread.call(lambda: service.wait_done(timeout=240),
+                              timeout=250)
+            assert service.state == "done", service.error
+            assert service.accuracy == expected_accuracy
+            formula = ser.encrypted_tabular_wire_size(
+                15, 4, 2, authority.params)
+            for upload in uploads:
+                assert upload["upload_bytes"] == formula
+        finally:
+            train_thread.stop()
+            auth_thread.stop()
+            shutdown_compute_pools()
+
     def test_duplicate_upload_is_idempotent(self):
         """A client resending after a lost ack must not duplicate its
         shard or start training early."""
