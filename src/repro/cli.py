@@ -105,6 +105,8 @@ def cmd_encrypt(args: argparse.Namespace) -> int:
 
 
 def cmd_train(args: argparse.Namespace) -> int:
+    if (args.resume or args.checkpoint_every) and not args.checkpoint:
+        raise SystemExit("--resume/--checkpoint-every require --checkpoint")
     authority = load_authority(args.authority, rng=random.Random(args.seed))
     dataset = load_encrypted_tabular(args.data)
     model = _build_model(dataset.n_features, args.hidden,
@@ -113,6 +115,9 @@ def cmd_train(args: argparse.Namespace) -> int:
     history = trainer.fit(
         dataset, SGD(args.learning_rate), epochs=args.epochs,
         batch_size=args.batch_size, rng=np.random.default_rng(args.seed),
+        checkpoint_path=args.checkpoint,
+        checkpoint_every=args.checkpoint_every,
+        resume=args.resume,
         on_batch=lambda i, loss, acc: print(
             f"  iter {i:4d}  loss={loss:.4f}  batch-acc={acc:.2f}"),
     )
@@ -156,6 +161,8 @@ def cmd_serve_train(args: argparse.Namespace) -> int:
     """Run the training server; exits once training completes."""
     from repro.rpc import TrainingService
 
+    if (args.resume or args.checkpoint_every) and not args.checkpoint:
+        raise SystemExit("--resume/--checkpoint-every require --checkpoint")
     service = TrainingService(
         args.authority_host, args.authority_port,
         host=args.host, port=args.port,
@@ -163,6 +170,9 @@ def cmd_serve_train(args: argparse.Namespace) -> int:
         epochs=args.epochs, batch_size=args.batch_size,
         learning_rate=args.learning_rate, seed=args.seed,
         batch_key_requests=not args.no_batch_keys,
+        checkpoint_path=args.checkpoint,
+        checkpoint_every=args.checkpoint_every,
+        resume=args.resume,
     )
 
     async def _run() -> int:
@@ -282,6 +292,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--batch-size", type=int, default=20)
     p.add_argument("--learning-rate", type=float, default=0.5)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--checkpoint",
+                   help="trainer checkpoint file (.npz); written "
+                        "atomically, contains no key material")
+    p.add_argument("--checkpoint-every", type=int,
+                   help="write a checkpoint every N batches")
+    p.add_argument("--resume", action="store_true",
+                   help="continue bit-exactly from --checkpoint "
+                        "(starts fresh if the file does not exist yet)")
     p.set_defaults(func=cmd_train)
 
     p = sub.add_parser("evaluate", help="evaluate saved weights")
@@ -327,6 +345,16 @@ def build_parser() -> argparse.ArgumentParser:
                         "batched envelope per iteration step")
     p.add_argument("--stay", action="store_true",
                    help="keep serving predictions after training")
+    p.add_argument("--checkpoint",
+                   help="durable job state: trainer checkpoint (.npz) "
+                        "plus a .dataset.json sidecar with the merged "
+                        "encrypted uploads; no key material in either")
+    p.add_argument("--checkpoint-every", type=int,
+                   help="write a trainer checkpoint every N batches")
+    p.add_argument("--resume", action="store_true",
+                   help="pick an interrupted job up from --checkpoint "
+                        "after process death (no re-uploads needed); "
+                        "waits for uploads as usual if no job is on disk")
     p.set_defaults(func=cmd_serve_train)
 
     p = sub.add_parser("client-upload",

@@ -19,15 +19,17 @@ framework's central design point.
 
 from __future__ import annotations
 
+import pathlib
 from typing import Callable
 
 import numpy as np
 
+from repro.core.checkpoint import TrainerCheckpoint, npz_path
 from repro.core.config import CryptoNNConfig
 from repro.core.encdata import (
     DecryptionCounters,
     EncryptedTabularDataset,
-    batch_indices,
+    shuffled_order,
 )
 from repro.core.entities import TrustedAuthority
 from repro.core.secure_layers import (
@@ -106,22 +108,128 @@ class _SecureTrainerBase:
     def fit(self, dataset, optimizer: Optimizer, epochs: int = 1,
             batch_size: int = 64, rng: np.random.Generator | None = None,
             shuffle: bool = True, max_batches: int | None = None,
-            on_batch: Callable[[int, float, float], None] | None = None
+            on_batch: Callable[[int, float, float], None] | None = None,
+            checkpoint_every: int | None = None,
+            checkpoint_path: str | pathlib.Path | None = None,
+            resume: bool = False,
+            checkpoint_trigger: Callable[[], bool] | None = None,
+            on_checkpoint: Callable[[TrainerCheckpoint], None] | None = None,
             ) -> TrainingHistory:
         """Mini-batch training over an encrypted dataset.
 
         ``max_batches`` caps the *total* number of iterations (useful for
-        the scaled Figure 6 experiment).  Batch accuracy is computed
+        the scaled Figure 6 experiment); when the cap lands mid-epoch the
+        partial epoch records no epoch mean and the shuffle stream is
+        left exactly where the cap hit it.  Batch accuracy is computed
         against the harness-only ``eval_labels`` when present, else NaN.
+
+        Checkpoint/resume: with ``checkpoint_path`` set, a durable
+        :class:`~repro.core.checkpoint.TrainerCheckpoint` is written
+        atomically every ``checkpoint_every`` batches (and once more,
+        marked completed, when the run finishes); ``checkpoint_trigger``
+        is polled after every batch for on-demand snapshots and
+        ``on_checkpoint`` observes each write.  With ``resume=True`` the
+        run continues from the checkpoint at ``checkpoint_path`` --
+        model parameters, optimizer slots, the shuffle bit-generator
+        stream, the in-flight epoch's permutation, counters and history
+        are all restored, so an interrupted-then-resumed run reproduces
+        the uninterrupted run's weights, loss curve and batch schedule
+        byte-for-byte.  A missing checkpoint file under ``resume=True``
+        simply starts fresh (the crash may have predated the first
+        write).
         """
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        needs_path = (checkpoint_every is not None or resume
+                      or checkpoint_trigger is not None)
+        if needs_path and checkpoint_path is None:
+            raise ValueError(
+                "checkpoint_every/checkpoint_trigger/resume require "
+                "checkpoint_path")
+        if checkpoint_path is not None:
+            checkpoint_path = npz_path(checkpoint_path)
+        if shuffle and rng is None:
+            # own the generator so its state can be checkpointed
+            rng = np.random.default_rng()
+
+        run_meta = {
+            "n_samples": len(dataset),
+            "batch_size": int(batch_size),
+            "epochs": int(epochs),
+            "shuffle": bool(shuffle),
+            "max_batches": max_batches,
+            "loss": self.loss_name,
+            "optimizer": type(optimizer).__name__,
+        }
+
         history = TrainingHistory()
         batch_counter = 0
-        for _ in range(epochs):
-            epoch_losses: list[float] = []
-            epoch_accs: list[float] = []
-            for indices in batch_indices(len(dataset), batch_size, rng, shuffle):
+        start_epoch = 0
+        resume_order: np.ndarray | None = None
+        resume_batch = 0
+        if resume and checkpoint_path.exists():
+            ckpt = TrainerCheckpoint.load(checkpoint_path)
+            for key, value in run_meta.items():
+                if ckpt.run_meta.get(key) != value:
+                    raise ValueError(
+                        f"checkpoint was written by a different run: "
+                        f"{key}={ckpt.run_meta.get(key)!r}, this run has "
+                        f"{key}={value!r}")
+            ckpt.restore_model(self.model)
+            optimizer.load_state_dict(ckpt.optimizer_state)
+            if ckpt.rng_state is not None:
+                ckpt.restore_rng(rng)
+            history = ckpt.history
+            if ckpt.completed:
+                return history
+            batch_counter = ckpt.batch_counter
+            start_epoch = ckpt.epoch
+            resume_order = ckpt.epoch_order
+            resume_batch = ckpt.batch_in_epoch
+
+        def write_checkpoint(epoch: int, batch_in_epoch: int,
+                             order: np.ndarray | None,
+                             completed: bool = False) -> None:
+            ckpt = TrainerCheckpoint.capture(
+                self.model, optimizer, rng if shuffle else None,
+                epoch=epoch, batch_in_epoch=batch_in_epoch,
+                batch_counter=batch_counter, history=history,
+                epoch_order=order, completed=completed, run_meta=run_meta)
+            ckpt.save(checkpoint_path)
+            if on_checkpoint is not None:
+                on_checkpoint(ckpt)
+
+        capped = False
+        for epoch in range(start_epoch, epochs):
+            if max_batches is not None and batch_counter >= max_batches:
+                # cap already reached: do NOT draw this epoch's shuffle
+                # (it would silently perturb the resume-critical stream)
+                break
+            if resume_order is not None:
+                # mid-epoch resume: replay the checkpointed permutation
+                order = resume_order
+                batch_in_epoch = resume_batch
+                # the partial epoch's running stats are the tail of the
+                # restored history, so the eventual epoch mean is exact
+                epoch_losses = list(
+                    history.batch_loss[len(history.batch_loss)
+                                       - resume_batch:])
+                epoch_accs = list(
+                    history.batch_accuracy[len(history.batch_accuracy)
+                                           - resume_batch:])
+                resume_order = None
+                resume_batch = 0
+            else:
+                order = shuffled_order(len(dataset), rng, shuffle)
+                batch_in_epoch = 0
+                epoch_losses = []
+                epoch_accs = []
+            for start in range(batch_in_epoch * batch_size, len(order),
+                               batch_size):
                 if max_batches is not None and batch_counter >= max_batches:
+                    capped = True
                     break
+                indices = order[start:start + batch_size]
                 loss_value, out = self.train_batch(dataset, indices, optimizer)
                 if dataset.eval_labels is not None:
                     batch_acc = accuracy(out, dataset.eval_labels[indices])
@@ -134,9 +242,21 @@ class _SecureTrainerBase:
                 if on_batch is not None:
                     on_batch(batch_counter, loss_value, batch_acc)
                 batch_counter += 1
+                batch_in_epoch += 1
+                if checkpoint_path is not None and (
+                        (checkpoint_every is not None
+                         and batch_counter % checkpoint_every == 0)
+                        or (checkpoint_trigger is not None
+                            and checkpoint_trigger())):
+                    write_checkpoint(epoch, batch_in_epoch, order)
+            if capped:
+                # partial epoch: no epoch mean, and no residual epochs
+                break
             if epoch_losses:
                 history.epoch_loss.append(float(np.mean(epoch_losses)))
                 history.epoch_accuracy.append(float(np.mean(epoch_accs)))
+        if checkpoint_path is not None:
+            write_checkpoint(epochs, 0, None, completed=True)
         return history
 
     def predict(self, dataset, indices: np.ndarray | None = None) -> np.ndarray:
@@ -162,6 +282,9 @@ class _SecureTrainerBase:
             raise ValueError("dataset carries no evaluation labels")
         if indices is None:
             indices = np.arange(len(dataset))
+        if len(indices) == 0:
+            raise ValueError(
+                "evaluate() needs at least one sample index")
         correct = 0
         for start in range(0, len(indices), batch_size):
             chunk = indices[start:start + batch_size]

@@ -124,15 +124,27 @@ def merge_encrypted_tabular(parts: list[EncryptedTabularDataset]
     )
 
 
-def batch_indices(n: int, batch_size: int,
-                  rng: np.random.Generator | None = None,
-                  shuffle: bool = True) -> list[np.ndarray]:
-    """Index batches over an encrypted dataset (server picks the order)."""
+def shuffled_order(n: int, rng: np.random.Generator | None = None,
+                   shuffle: bool = True) -> np.ndarray:
+    """One epoch's sample permutation.
+
+    This is the ONLY place the training shuffle consumes the RNG stream
+    -- ``fit()`` checkpoints that stream for exact resume, so any other
+    consumer would silently break resume determinism.
+    """
     order = np.arange(n)
     if shuffle:
         if rng is None:
             rng = np.random.default_rng()
         rng.shuffle(order)
+    return order
+
+
+def batch_indices(n: int, batch_size: int,
+                  rng: np.random.Generator | None = None,
+                  shuffle: bool = True) -> list[np.ndarray]:
+    """Index batches over an encrypted dataset (server picks the order)."""
+    order = shuffled_order(n, rng, shuffle)
     return [order[s:s + batch_size] for s in range(0, n, batch_size)]
 
 

@@ -35,6 +35,24 @@ class TrainingHistory:
             for i in range(0, len(series), window)
         ]
 
+    def to_dict(self) -> dict[str, list[float]]:
+        """Copy of all series (floats round-trip exactly through JSON)."""
+        return {
+            "batch_loss": list(self.batch_loss),
+            "batch_accuracy": list(self.batch_accuracy),
+            "epoch_loss": list(self.epoch_loss),
+            "epoch_accuracy": list(self.epoch_accuracy),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TrainingHistory":
+        return cls(
+            batch_loss=[float(v) for v in data.get("batch_loss", [])],
+            batch_accuracy=[float(v) for v in data.get("batch_accuracy", [])],
+            epoch_loss=[float(v) for v in data.get("epoch_loss", [])],
+            epoch_accuracy=[float(v) for v in data.get("epoch_accuracy", [])],
+        )
+
 
 def iterate_batches(x: np.ndarray, y: np.ndarray, batch_size: int,
                     rng: np.random.Generator | None = None,

@@ -1,4 +1,10 @@
-"""Optimizers: plain/momentum SGD (used by the paper) and Adam (extra)."""
+"""Optimizers: plain/momentum SGD (used by the paper) and Adam (extra).
+
+Every optimizer exposes ``state_dict()``/``load_state_dict()`` so a
+training run can be checkpointed and resumed *bit-exactly*: the slot
+arrays (velocity / moments) and step counters are part of the float
+trajectory, so weights alone are not enough to continue a run.
+"""
 
 from __future__ import annotations
 
@@ -7,11 +13,46 @@ import numpy as np
 from repro.nn.layers import Layer
 
 
+def _slot_to_state(slot: dict[tuple[int, str], np.ndarray]
+                   ) -> dict[str, np.ndarray]:
+    """(layer_idx, param) keyed arrays -> serialization-friendly copies."""
+    return {f"{idx}.{name}": value.copy()
+            for (idx, name), value in slot.items()}
+
+
+def _slot_from_state(state: dict[str, np.ndarray]
+                     ) -> dict[tuple[int, str], np.ndarray]:
+    slot: dict[tuple[int, str], np.ndarray] = {}
+    for key, value in state.items():
+        idx, _, name = key.partition(".")
+        slot[(int(idx), name)] = np.asarray(value).copy()
+    return slot
+
+
 class Optimizer:
     """Walks the layers' ``params``/``grads`` dictionaries in lock-step."""
 
     def step(self, layers: list[Layer]) -> None:
         raise NotImplementedError
+
+    def state_dict(self) -> dict:
+        """Serializable snapshot of every piece of mutable state.
+
+        Array values are copies; mutating the returned dict never
+        touches the live optimizer.
+        """
+        return {"type": type(self).__name__}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Inverse of :meth:`state_dict`; restores hyperparameters too,
+        so a resumed run follows the checkpointed trajectory exactly."""
+        self._check_state_type(state)
+
+    def _check_state_type(self, state: dict) -> None:
+        if state.get("type") != type(self).__name__:
+            raise ValueError(
+                f"optimizer state is for {state.get('type')!r}, "
+                f"not {type(self).__name__}")
 
 
 class SGD(Optimizer):
@@ -49,6 +90,20 @@ class SGD(Optimizer):
                 else:
                     param -= self.learning_rate * grad
 
+    def state_dict(self) -> dict:
+        return {
+            "type": "SGD",
+            "learning_rate": self.learning_rate,
+            "momentum": self.momentum,
+            "velocity": _slot_to_state(self._velocity),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._check_state_type(state)
+        self.learning_rate = float(state["learning_rate"])
+        self.momentum = float(state["momentum"])
+        self._velocity = _slot_from_state(state["velocity"])
+
 
 class Adam(Optimizer):
     """Adam (Kingma & Ba) -- not used by the paper, provided as an extra."""
@@ -81,3 +136,25 @@ class Adam(Optimizer):
                 m_hat = m / (1 - self.beta1 ** self._t)
                 v_hat = v / (1 - self.beta2 ** self._t)
                 param -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_dict(self) -> dict:
+        return {
+            "type": "Adam",
+            "learning_rate": self.learning_rate,
+            "beta1": self.beta1,
+            "beta2": self.beta2,
+            "eps": self.eps,
+            "t": self._t,
+            "m": _slot_to_state(self._m),
+            "v": _slot_to_state(self._v),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._check_state_type(state)
+        self.learning_rate = float(state["learning_rate"])
+        self.beta1 = float(state["beta1"])
+        self.beta2 = float(state["beta2"])
+        self.eps = float(state["eps"])
+        self._t = int(state["t"])
+        self._m = _slot_from_state(state["m"])
+        self._v = _slot_from_state(state["v"])

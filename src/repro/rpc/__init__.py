@@ -33,7 +33,11 @@ from repro.rpc.client import (
     RpcRemoteError,
     RpcTimeoutError,
 )
-from repro.rpc.client_agent import fetch_status, upload_shard
+from repro.rpc.client_agent import (
+    fetch_status,
+    request_checkpoint,
+    upload_shard,
+)
 from repro.rpc.framing import MAX_FRAME_BYTES, FrameError
 from repro.rpc.messages import WireContext
 from repro.rpc.runtime import ServiceThread, free_port, wait_for_port
@@ -58,6 +62,7 @@ __all__ = [
     "build_mlp",
     "fetch_status",
     "free_port",
+    "request_checkpoint",
     "run_authority_service",
     "run_training",
     "upload_shard",

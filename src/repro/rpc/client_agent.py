@@ -19,7 +19,12 @@ from repro.core import protocol
 from repro.core.entities import Client
 from repro.data.preprocess import LabelMapper
 from repro.rpc.client import RemoteAuthority, RpcEndpoint
-from repro.rpc.messages import Ack, EncryptedDataUpload, TrainStatusRequest
+from repro.rpc.messages import (
+    Ack,
+    EncryptedDataUpload,
+    TrainCheckpointRequest,
+    TrainStatusRequest,
+)
 
 
 def upload_shard(authority_address: tuple[str, int],
@@ -68,6 +73,24 @@ def upload_shard(authority_address: tuple[str, int],
             "authority_bytes": authority.traffic.total_bytes(
                 sender=name, receiver=protocol.AUTHORITY),
         }
+
+
+def request_checkpoint(server_address: tuple[str, int], *,
+                       name: str = protocol.CLIENT,
+                       timeout: float = 30.0) -> dict:
+    """Ask a training server for an on-demand durable snapshot.
+
+    Returns the server's ack info: ``scheduled`` is True when a
+    training thread will write the checkpoint after its in-flight
+    batch; ``checkpoint`` reports the last snapshot the server wrote.
+    The server must have been started with a checkpoint path.
+    """
+    with RpcEndpoint(*server_address, name=name, peer=protocol.SERVER,
+                     timeout=timeout) as server:
+        ack = server.request(TrainCheckpointRequest(requester=name))
+        if not isinstance(ack, Ack):
+            raise TypeError(f"expected an ack, got {ack.kind!r}")
+        return ack.info
 
 
 def fetch_status(server_address: tuple[str, int], *,

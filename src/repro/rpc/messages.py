@@ -43,6 +43,7 @@ KIND_ERROR = "error"
 KIND_TRAIN_START = "train-start"
 KIND_TRAIN_STATUS = "train-status"
 KIND_TRAIN_STATUS_RESPONSE = "train-status-response"
+KIND_TRAIN_CHECKPOINT = "train-checkpoint"
 KIND_PREDICT_REQUEST = "predict-request"
 KIND_PREDICT_RESPONSE = "predict-response"
 
@@ -498,6 +499,32 @@ class TrainStart:
     @classmethod
     def from_wire(cls, header, body, ctx):
         return cls(requester=str(header.get("from", protocol.SERVER)))
+
+
+@_register(KIND_TRAIN_CHECKPOINT)
+@dataclasses.dataclass
+class TrainCheckpointRequest:
+    """Ask the training server to write a durable checkpoint now.
+
+    Answered with an :class:`Ack` whose ``info`` reports whether a
+    snapshot was scheduled (the training thread writes it after the
+    in-flight batch) and the last checkpoint the server knows about.
+    Requires the server to have been started with a checkpoint path.
+    """
+
+    requester: str = protocol.CLIENT
+
+    kind: ClassVar[str] = KIND_TRAIN_CHECKPOINT
+
+    def header(self) -> dict[str, Any]:
+        return {"from": self.requester}
+
+    def body(self, ctx: WireContext | None = None) -> bytes:
+        return b""
+
+    @classmethod
+    def from_wire(cls, header, body, ctx):
+        return cls(requester=str(header.get("from", protocol.CLIENT)))
 
 
 @_register(KIND_TRAIN_STATUS)

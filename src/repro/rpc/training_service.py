@@ -12,6 +12,17 @@ into one envelope per step by default.
 The blocking training loop runs in a worker thread
 (``asyncio.to_thread``) so the server keeps answering ``train-status``
 and, after completion, ``predict-request`` messages.
+
+Durable jobs: started with a ``checkpoint_path``, the server persists
+the merged encrypted dataset once (a ``<path>.dataset.json`` sidecar)
+and a :class:`~repro.core.checkpoint.TrainerCheckpoint` every
+``checkpoint_every`` batches, both atomically.  A server restarted with
+``resume=True`` (CLI ``serve-train --resume``) picks the job back up
+from disk -- no re-uploads -- and, because the checkpoint carries the
+optimizer slots and the shuffle RNG stream, finishes with exactly the
+weights, loss curve and batch schedule the uninterrupted run would
+have produced.  Neither file contains key material; master secrets
+never leave the authority.
 """
 
 from __future__ import annotations
@@ -19,12 +30,19 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import dataclasses
+import os
 import re
 import threading
 
 import numpy as np
 
 from repro.core import protocol
+from repro.core.checkpoint import (
+    TrainerCheckpoint,
+    load_encrypted_tabular,
+    npz_path,
+    save_encrypted_tabular,
+)
 from repro.core.config import CryptoNNConfig
 from repro.core.cryptonn import CryptoNNTrainer
 from repro.core.encdata import EncryptedTabularDataset, merge_encrypted_tabular
@@ -40,6 +58,7 @@ from repro.rpc.messages import (
     ErrorMessage,
     PredictRequest,
     PredictResponse,
+    TrainCheckpointRequest,
     TrainStart,
     TrainStatus,
     TrainStatusRequest,
@@ -52,6 +71,7 @@ from repro.rpc.service import FramedService
 _CTX_FREE_KINDS = frozenset({
     messages_mod.KIND_TRAIN_START,
     messages_mod.KIND_TRAIN_STATUS,
+    messages_mod.KIND_TRAIN_CHECKPOINT,
     messages_mod.KIND_PREDICT_REQUEST,
 })
 
@@ -81,20 +101,29 @@ def run_training(dataset: EncryptedTabularDataset, authority, *,
                  hidden: int = 8, epochs: int = 1, batch_size: int = 20,
                  learning_rate: float = 0.5, seed: int = 0,
                  loss: str = "cross_entropy",
-                 config: CryptoNNConfig | None = None
+                 config: CryptoNNConfig | None = None,
+                 checkpoint_path=None, checkpoint_every: int | None = None,
+                 resume: bool = False, checkpoint_trigger=None,
+                 on_checkpoint=None,
                  ) -> tuple[CryptoNNTrainer, TrainingHistory, float]:
     """One deterministic training run over an encrypted dataset.
 
     The networked training server and the in-process path both call
     this function, so "same seed => same accuracy" holds across
     transports by construction: decryption recovers exact integers,
-    hence identical floating-point trajectories either way.
+    hence identical floating-point trajectories either way.  The
+    checkpoint arguments pass straight through to ``fit()`` -- with
+    ``resume=True`` the run continues bit-exactly from the checkpoint
+    at ``checkpoint_path`` (or starts fresh if none was written yet).
     """
     model = build_mlp(dataset.n_features, hidden, dataset.num_classes, seed)
     trainer = CryptoNNTrainer(model, authority, config=config, loss=loss)
     history = trainer.fit(
         dataset, SGD(learning_rate), epochs=epochs, batch_size=batch_size,
-        rng=np.random.default_rng(seed))
+        rng=np.random.default_rng(seed),
+        checkpoint_path=checkpoint_path, checkpoint_every=checkpoint_every,
+        resume=resume, checkpoint_trigger=checkpoint_trigger,
+        on_checkpoint=on_checkpoint)
     accuracy = trainer.evaluate(dataset)
     return trainer, history, accuracy
 
@@ -110,6 +139,9 @@ class TrainingService(FramedService):
                  batch_size: int = 20, learning_rate: float = 0.5,
                  seed: int = 0, loss: str = "cross_entropy",
                  batch_key_requests: bool = True,
+                 checkpoint_path: str | None = None,
+                 checkpoint_every: int | None = None,
+                 resume: bool = False,
                  max_frame_bytes: int = MAX_FRAME_BYTES):
         super().__init__(host, port, max_frame_bytes=max_frame_bytes)
         self.authority_address = (authority_host, authority_port)
@@ -121,6 +153,16 @@ class TrainingService(FramedService):
         self.seed = seed
         self.loss = loss
         self.batch_key_requests = batch_key_requests
+        self.checkpoint_path = (str(npz_path(checkpoint_path))
+                                if checkpoint_path is not None else None)
+        self.checkpoint_every = checkpoint_every
+        self.resume = resume
+        #: the merged encrypted dataset persisted next to the checkpoint
+        #: so a restarted server can resume without re-uploads
+        self.dataset_path = (f"{self.checkpoint_path}.dataset.json"
+                             if checkpoint_path is not None else None)
+        if resume and checkpoint_path is None:
+            raise ValueError("resume=True requires checkpoint_path")
 
         self.state = "waiting"  # waiting -> training -> done | failed
         self.error: str | None = None
@@ -129,8 +171,12 @@ class TrainingService(FramedService):
         self.trainer: CryptoNNTrainer | None = None
         self.dataset: EncryptedTabularDataset | None = None
         self.authority: RemoteAuthority | None = None
+        #: counters of the last checkpoint written this run (or None)
+        self.last_checkpoint: dict | None = None
 
         self._shards: list[tuple[str, EncryptedTabularDataset]] = []
+        self._resuming = False
+        self._checkpoint_requested = threading.Event()
         self._done = asyncio.Event()
         self._train_task: asyncio.Task | None = None
         self._predict_lock = threading.Lock()
@@ -139,6 +185,22 @@ class TrainingService(FramedService):
         self._stopping = False
 
     # -- lifecycle -----------------------------------------------------------
+    async def start(self) -> tuple[str, int]:
+        address = await super().start()
+        if self.resume and self.state == "waiting" and self.has_durable_job():
+            # pick the interrupted job back up from disk: the dataset
+            # sidecar replaces the uploads, the trainer checkpoint (if
+            # one was written before the crash) replaces the progress
+            self._resuming = True
+            self._start_training()
+        return address
+
+    def has_durable_job(self) -> bool:
+        """True when a persisted dataset exists so training can start
+        (or finish) without any client uploads."""
+        return (self.dataset_path is not None
+                and os.path.exists(self.dataset_path))
+
     async def wait_done(self, timeout: float | None = None) -> None:
         """Block until training finished (or failed)."""
         if timeout is None:
@@ -200,10 +262,15 @@ class TrainingService(FramedService):
     async def _dispatch(self, msg, sender: str):
         if isinstance(msg, EncryptedDataUpload):
             if self.state != "waiting":
-                if any(name == msg.client_name for name, _ in self._shards):
+                if (self._resuming
+                        or any(name == msg.client_name
+                               for name, _ in self._shards)):
                     # the client's earlier upload was accepted but its
                     # ack got lost; training may already be running --
-                    # acknowledge the resend instead of failing it
+                    # acknowledge the resend instead of failing it.  A
+                    # --resume restart has no in-memory shard list (the
+                    # merged dataset came off disk), so every resend
+                    # against a resumed job is by definition a duplicate
                     return Ack(info={"received": len(msg.dataset),
                                      "clients": len(self._shards),
                                      "expected": self.expected_clients,
@@ -226,6 +293,16 @@ class TrainingService(FramedService):
             return Ack(info={"state": self.state})
         if isinstance(msg, TrainStatusRequest):
             return self._status()
+        if isinstance(msg, TrainCheckpointRequest):
+            if self.checkpoint_path is None:
+                raise RuntimeError(
+                    "server was started without a checkpoint path")
+            scheduled = self.state == "training"
+            if scheduled:
+                # the training thread polls this after every batch
+                self._checkpoint_requested.set()
+            return Ack(info={"state": self.state, "scheduled": scheduled,
+                             "checkpoint": self.last_checkpoint})
         if isinstance(msg, PredictRequest):
             if self.state != "done":
                 raise RuntimeError(
@@ -245,8 +322,41 @@ class TrainingService(FramedService):
         if self.history is not None:
             detail["epoch_loss"] = self.history.epoch_loss
             detail["epoch_accuracy"] = self.history.epoch_accuracy
+        if self.checkpoint_path is not None:
+            written = os.path.exists(self.checkpoint_path)
+            last = self.last_checkpoint
+            if last is None and written:
+                # nothing written *this* process yet, but a previous
+                # incarnation left a checkpoint: report its counters
+                with contextlib.suppress(Exception):
+                    last = TrainerCheckpoint.peek_meta(self.checkpoint_path)
+            detail["checkpoint"] = {
+                "path": str(self.checkpoint_path),
+                # resumable = a restarted `serve-train --resume` could
+                # pick this job up: dataset sidecar on disk (the trainer
+                # checkpoint itself is optional -- without one the job
+                # restarts from batch 0, still bit-exactly)
+                "resumable": self.has_durable_job(),
+                "written": written,
+                "last": last,
+            }
         return TrainStatus(state=self.state, accuracy=self.accuracy,
                            detail=detail)
+
+    def _note_checkpoint(self, ckpt: TrainerCheckpoint) -> None:
+        # called from the training thread after each atomic write
+        self.last_checkpoint = {
+            "epoch": ckpt.epoch,
+            "batch_in_epoch": ckpt.batch_in_epoch,
+            "batch_counter": ckpt.batch_counter,
+            "completed": ckpt.completed,
+        }
+
+    def _take_checkpoint_request(self) -> bool:
+        if self._checkpoint_requested.is_set():
+            self._checkpoint_requested.clear()
+            return True
+        return False
 
     # -- training ------------------------------------------------------------
     def _start_training(self) -> None:
@@ -265,13 +375,21 @@ class TrainingService(FramedService):
             self._done.set()
 
     def _train_sync(self) -> None:
-        # merge in natural client-name order: deterministic under
-        # upload races, and equal to the 0..N-1 enumerate order of the
-        # in-process reference even past 9 clients
-        parts = [shard for _, shard in
-                 sorted(self._shards,
-                        key=lambda item: _natural_key(item[0]))]
-        self.dataset = merge_encrypted_tabular(parts)
+        if self._resuming:
+            self.dataset = load_encrypted_tabular(self.dataset_path)
+        else:
+            # merge in natural client-name order: deterministic under
+            # upload races, and equal to the 0..N-1 enumerate order of
+            # the in-process reference even past 9 clients
+            parts = [shard for _, shard in
+                     sorted(self._shards,
+                            key=lambda item: _natural_key(item[0]))]
+            self.dataset = merge_encrypted_tabular(parts)
+            if self.dataset_path is not None:
+                # persisted once (atomically) so a killed-and-restarted
+                # server can resume without re-uploads; ciphertexts
+                # only -- no key material
+                save_encrypted_tabular(self.dataset, self.dataset_path)
         authority = self.authority
         if authority is None:
             authority = RemoteAuthority(
@@ -287,7 +405,15 @@ class TrainingService(FramedService):
         self.trainer, self.history, self.accuracy = run_training(
             self.dataset, authority, hidden=self.hidden, epochs=self.epochs,
             batch_size=self.batch_size, learning_rate=self.learning_rate,
-            seed=self.seed, loss=self.loss, config=config)
+            seed=self.seed, loss=self.loss, config=config,
+            checkpoint_path=self.checkpoint_path,
+            checkpoint_every=self.checkpoint_every,
+            resume=self._resuming,
+            checkpoint_trigger=(self._take_checkpoint_request
+                                if self.checkpoint_path is not None
+                                else None),
+            on_checkpoint=(self._note_checkpoint
+                           if self.checkpoint_path is not None else None))
 
     def _predict(self, indices: list[int]) -> list[list[float]]:
         with self._predict_lock:

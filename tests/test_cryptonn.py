@@ -97,6 +97,46 @@ class TestMechanics:
                            max_batches=3, rng=np.random.default_rng(0))
         assert len(hist.batch_loss) == 3
 
+    def test_max_batches_leaves_rng_stream_clean(self, authority,
+                                                 clinic_data, np_rng):
+        """Once the cap is hit, residual epochs must not draw shuffle
+        permutations (that would silently perturb the resume-critical
+        RNG stream) nor record a partial epoch's mean as a full epoch."""
+        x, y = clinic_data
+        enc = Client(authority).encrypt_tabular(x, y, num_classes=2)
+        # 80 samples / batch 16 = 5 batches per epoch; cap mid-epoch 2
+        rng = np.random.default_rng(7)
+        hist = CryptoNNTrainer(make_model(np_rng), authority).fit(
+            enc, SGD(0.1), epochs=5, batch_size=16, max_batches=7, rng=rng)
+        assert len(hist.batch_loss) == 7
+        assert len(hist.epoch_loss) == 1  # epoch 1 full, epoch 2 partial
+        expected = np.random.default_rng(7)
+        expected.shuffle(np.arange(len(enc)))
+        expected.shuffle(np.arange(len(enc)))
+        assert rng.bit_generator.state == expected.bit_generator.state
+
+    def test_max_batches_on_epoch_boundary_records_epoch(self, authority,
+                                                         clinic_data,
+                                                         np_rng):
+        x, y = clinic_data
+        enc = Client(authority).encrypt_tabular(x, y, num_classes=2)
+        rng = np.random.default_rng(7)
+        hist = CryptoNNTrainer(make_model(np_rng), authority).fit(
+            enc, SGD(0.1), epochs=5, batch_size=16, max_batches=5, rng=rng)
+        assert len(hist.batch_loss) == 5
+        assert len(hist.epoch_loss) == 1  # the completed epoch counts
+        expected = np.random.default_rng(7)
+        expected.shuffle(np.arange(len(enc)))  # exactly ONE draw
+        assert rng.bit_generator.state == expected.bit_generator.state
+
+    def test_evaluate_rejects_empty_indices(self, authority, clinic_data,
+                                            np_rng):
+        x, y = clinic_data
+        enc = Client(authority).encrypt_tabular(x, y, num_classes=2)
+        trainer = CryptoNNTrainer(make_model(np_rng), authority)
+        with pytest.raises(ValueError, match="at least one"):
+            trainer.evaluate(enc, indices=np.array([], dtype=np.int64))
+
     def test_counters_accumulate(self, authority, clinic_data, np_rng):
         x, y = clinic_data
         enc = Client(authority).encrypt_tabular(x, y, num_classes=2)

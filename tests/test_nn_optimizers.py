@@ -52,6 +52,68 @@ class TestSGD:
         assert np.abs(layer.params["W"]).max() < 1e-6
 
 
+class TestStateDicts:
+    """state_dict/load_state_dict must restore the exact trajectory."""
+
+    def _step_pair(self, opt_a, opt_b, layer_a, layer_b):
+        for layer in (layer_a, layer_b):
+            layer.grads = {"W": layer.params["W"] * 0.5,
+                           "b": layer.params["b"] * 0.5 + 1.0}
+        opt_a.step([layer_a])
+        opt_b.step([layer_b])
+
+    def _clone_layer(self, layer):
+        twin = Dense(2, 2)
+        twin.params = {k: v.copy() for k, v in layer.params.items()}
+        return twin
+
+    def test_sgd_resume_is_exact(self, np_rng):
+        layer = make_layer_with_grads(np_rng)
+        opt = SGD(learning_rate=0.1, momentum=0.9)
+        opt.step([layer])
+        opt.step([layer])
+        state = opt.state_dict()
+        twin_layer = self._clone_layer(layer)
+        # deliberately different hyperparameters: load restores them
+        twin_opt = SGD(learning_rate=5.0, momentum=0.0)
+        twin_opt.load_state_dict(state)
+        assert twin_opt.learning_rate == 0.1
+        assert twin_opt.momentum == 0.9
+        for _ in range(3):
+            self._step_pair(opt, twin_opt, layer, twin_layer)
+        assert np.array_equal(layer.params["W"], twin_layer.params["W"])
+        assert np.array_equal(layer.params["b"], twin_layer.params["b"])
+
+    def test_adam_resume_is_exact(self, np_rng):
+        layer = make_layer_with_grads(np_rng)
+        opt = Adam(learning_rate=0.01)
+        opt.step([layer])
+        opt.step([layer])
+        state = opt.state_dict()
+        assert state["t"] == 2  # bias-correction timestep is state too
+        twin_layer = self._clone_layer(layer)
+        twin_opt = Adam(learning_rate=9.9)
+        twin_opt.load_state_dict(state)
+        for _ in range(3):
+            self._step_pair(opt, twin_opt, layer, twin_layer)
+        assert np.array_equal(layer.params["W"], twin_layer.params["W"])
+        assert np.array_equal(layer.params["b"], twin_layer.params["b"])
+
+    def test_state_dict_returns_copies(self, np_rng):
+        layer = make_layer_with_grads(np_rng)
+        opt = SGD(learning_rate=0.1, momentum=0.9)
+        opt.step([layer])
+        state = opt.state_dict()
+        state["velocity"]["0.W"][...] = 1e9
+        assert np.abs(opt._velocity[(0, "W")]).max() < 1e9
+
+    def test_wrong_optimizer_type_rejected(self):
+        with pytest.raises(ValueError):
+            SGD(0.1).load_state_dict(Adam().state_dict())
+        with pytest.raises(ValueError):
+            Adam().load_state_dict(SGD(0.1).state_dict())
+
+
 class TestAdam:
     def test_first_step_size_is_lr(self, np_rng):
         layer = make_layer_with_grads(np_rng)

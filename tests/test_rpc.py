@@ -173,6 +173,8 @@ class TestMessages:
         assert status.detail["clients"] == 2
         err = roundtrip(msgs.ErrorMessage(message="nope", error_type="Boom"))
         assert err.error_type == "Boom"
+        ckpt = roundtrip(msgs.TrainCheckpointRequest(requester="driver"))
+        assert ckpt.requester == "driver"
         predict = roundtrip(msgs.PredictResponse(scores=[[0.25, 0.75]]))
         assert predict.scores == [[0.25, 0.75]]
 
