@@ -1,0 +1,106 @@
+"""Diff two machine-readable bench results (``BENCH_*.json``).
+
+Every ablation bench emits numbers + speedup ratios via
+:func:`benchmarks.harness.write_bench_json`; CI uploads them as
+artifacts per run.  This tool makes the perf trajectory reviewable
+PR-over-PR without rerunning anything::
+
+    python benchmarks/compare_benches.py old/BENCH_ablation_batchdot.json \
+        new/BENCH_ablation_batchdot.json
+
+prints, per raw measurement and per speedup ratio, the old value, the
+new value and the relative delta.  Pass ``--fail-drop PCT`` to exit
+non-zero when any speedup ratio regressed by more than PCT percent --
+the hook for a perf gate in CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def load_bench(path: str | pathlib.Path) -> dict:
+    payload = json.loads(pathlib.Path(path).read_text())
+    for section in ("numbers", "speedups", "meta"):
+        payload.setdefault(section, {})
+    return payload
+
+
+def _delta_pct(old: float, new: float) -> float | None:
+    if not isinstance(old, (int, float)) or not isinstance(new, (int, float)):
+        return None
+    if old == 0:
+        return None
+    return (new - old) / abs(old) * 100.0
+
+
+def compare(old: dict, new: dict) -> list[tuple[str, str, object, object,
+                                                float | None]]:
+    """Return ``(section, key, old, new, delta_pct)`` rows, speedups first."""
+    rows = []
+    for section in ("speedups", "numbers"):
+        keys = sorted(set(old[section]) | set(new[section]))
+        for key in keys:
+            a, b = old[section].get(key), new[section].get(key)
+            rows.append((section, key, a, b, _delta_pct(a, b)
+                         if a is not None and b is not None else None))
+    return rows
+
+
+def format_rows(rows, old_name: str, new_name: str) -> list[str]:
+    header = ["metric", old_name, new_name, "delta"]
+    table = []
+    for section, key, a, b, delta in rows:
+        fmt = (lambda v: "-" if v is None
+               else f"{v:.3f}" if isinstance(v, float) else str(v))
+        delta_s = "-" if delta is None else f"{delta:+.1f}%"
+        table.append([f"{section}.{key}", fmt(a), fmt(b), delta_s])
+    widths = [max(len(header[c]), *(len(r[c]) for r in table))
+              for c in range(4)] if table else [len(h) for h in header]
+
+    def line(cells):
+        return "  ".join(str(c).ljust(w) for c, w in zip(cells, widths))
+
+    return [line(header), line(["-" * w for w in widths])] + \
+        [line(r) for r in table]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="diff two BENCH_*.json files and print speedup deltas")
+    parser.add_argument("old", help="baseline BENCH_*.json")
+    parser.add_argument("new", help="candidate BENCH_*.json")
+    parser.add_argument("--fail-drop", type=float, metavar="PCT",
+                        default=None,
+                        help="exit 1 if any speedup ratio dropped by more "
+                             "than PCT percent")
+    args = parser.parse_args(argv)
+    old, new = load_bench(args.old), load_bench(args.new)
+    if old.get("bench") != new.get("bench"):
+        print(f"note: comparing different benches "
+              f"({old.get('bench')!r} vs {new.get('bench')!r})")
+    rows = compare(old, new)
+    print(f"bench: {new.get('bench')}")
+    if old["meta"] != new["meta"]:
+        print(f"note: configs differ: {old['meta']} vs {new['meta']}")
+    for line in format_rows(rows, "old", "new"):
+        print(line)
+    if args.fail_drop is not None:
+        regressed = [
+            (key, delta) for section, key, _, _, delta in rows
+            if section == "speedups" and delta is not None
+            and delta < -abs(args.fail_drop)
+        ]
+        if regressed:
+            for key, delta in regressed:
+                print(f"REGRESSION: speedups.{key} dropped {delta:+.1f}% "
+                      f"(allowed -{abs(args.fail_drop):.1f}%)")
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -109,11 +109,9 @@ class _FeatureReconstructor(_SecureBase):
         self.counters.febo_keys_requested += len(keys)
         bpk = self.authority.febo_public_key()
         solver = self._cache.get(self._febo.group, bound)
-        values: list[int] = []
-        for ct, key in zip(ciphertexts, keys):
-            element = self._febo.decrypt_raw(bpk, key, ct)
-            values.append(solver.solve(element))
-            self.counters.febo_decrypts += 1
+        values = self._febo.decrypt_many(bpk, list(zip(keys, ciphertexts)),
+                                         bound, solver=solver)
+        self.counters.febo_decrypts += len(values)
         return values
 
     def reconstruct(self, index: int, ciphertexts: Sequence,
@@ -180,13 +178,16 @@ class SecureLinearInput(_FeatureReconstructor):
             self.counters.feip_decrypts += len(batch) * len(keys)
             z = self.codec.decode_array(flat.T, power=2)
         else:
+            # batched per sample: all hidden units share the sample's
+            # ciphertext bases, so decrypt_rows builds the window tables
+            # and walks the dlog stride once per sample, not per unit
             solver = self._solver(bound)
             z = np.empty((len(batch), len(keys)), dtype=np.float64)
             for n, sample in enumerate(batch):
-                for i, key in enumerate(keys):
-                    element = self._feip.decrypt_raw(mpk, sample.features_ip, key)
-                    z[n, i] = self.codec.decode(solver.solve(element), power=2)
-                    self.counters.feip_decrypts += 1
+                values = self._feip.decrypt_rows(mpk, sample.features_ip,
+                                                 keys, bound, solver=solver)
+                z[n] = [self.codec.decode(v, power=2) for v in values]
+                self.counters.feip_decrypts += len(keys)
         z += self.dense.params["b"]
         if training:
             self._last_batch = batch
@@ -263,12 +264,14 @@ class SecureConvInput(_FeatureReconstructor):
             out_h, out_w = image.windows.out_shape
             z = np.empty((len(keys), out_h, out_w), dtype=np.float64)
             for pos, window_ct in enumerate(image.windows.windows):
-                for f, key in enumerate(keys):
-                    element = self._feip.decrypt_raw(mpk, window_ct, key)
-                    z[f, pos // out_w, pos % out_w] = self.codec.decode(
-                        solver.solve(element), power=2
-                    )
-                    self.counters.feip_decrypts += 1
+                # whole filter bank against one window ciphertext: the
+                # patch loop shares base tables across all filters
+                values = self._feip.decrypt_rows(mpk, window_ct, keys,
+                                                 bound, solver=solver)
+                z[:, pos // out_w, pos % out_w] = [
+                    self.codec.decode(v, power=2) for v in values
+                ]
+                self.counters.feip_decrypts += len(keys)
             outputs.append(z)
         return np.stack(outputs)
 
@@ -337,12 +340,16 @@ def _decrypt_label_subtractions(layer: _SecureBase, values: np.ndarray,
             layer.authority.params, bpk, tasks, (n, num_classes), bound)
         return layer.codec.decode_array(grid)
     solver = layer._cache.get(layer._febo.group, bound)
+    values = layer._febo.decrypt_many(
+        bpk,
+        [(keys[i * num_classes + c], labels[i].onehot_bo[c])
+         for i in range(n) for c in range(num_classes)],
+        bound, solver=solver,
+    )
     out = np.empty((n, num_classes), dtype=np.float64)
     for i in range(n):
         for c in range(num_classes):
-            element = layer._febo.decrypt_raw(
-                bpk, keys[i * num_classes + c], labels[i].onehot_bo[c])
-            out[i, c] = layer.codec.decode(solver.solve(element))
+            out[i, c] = layer.codec.decode(values[i * num_classes + c])
     return out
 
 
@@ -385,12 +392,13 @@ class SecureSoftmaxCrossEntropy(_SecureBase):
             keys = [self.authority.derive_feip_keys([row])[0]
                     for row in encoded_rows]
         self.counters.feip_keys_requested += len(keys)
-        total = 0.0
-        for label, key in zip(labels, keys):
-            element = self._feip.decrypt_raw(mpk, label.onehot_ip, key)
-            inner = self.codec.decode(solver.solve(element), power=2)
-            total -= inner
-            self.counters.feip_decrypts += 1
+        # bases differ per sample (each label has its own ciphertext), so
+        # only the bounded dlogs batch: one shared giant-step walk
+        elements = [self._feip.decrypt_raw(mpk, label.onehot_ip, key)
+                    for label, key in zip(labels, keys)]
+        self.counters.feip_decrypts += len(elements)
+        total = -sum(self.codec.decode(v, power=2)
+                     for v in solver.solve_many(elements))
         self._probs = probs
         return total / logits.shape[0]
 

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import enum
 import random
+from collections.abc import Sequence
 
 from repro.fe.errors import (
     CiphertextError,
@@ -161,6 +162,23 @@ class Febo:
         element = self.decrypt_raw(mpk, skf, ciphertext)
         solver = solver or self.solver_for(bound)
         return solver.solve(element)
+
+    def decrypt_many(self, mpk: FeboPublicKey,
+                     items: "Sequence[tuple[FeboFunctionKey, FeboCiphertext]]",
+                     bound: int, solver: DlogSolver | None = None
+                     ) -> list[int]:
+        """Batched :meth:`decrypt` over ``(key, ciphertext)`` pairs.
+
+        FEBO keys are per-ciphertext, so unlike FEIP there are no shared
+        bases to amortize -- what *is* shared is the bounded discrete
+        log: all raw elements go through the solver's batched
+        :meth:`~repro.mathutils.dlog.DlogSolver.solve_many`, one
+        deduplicated giant-step walk for the whole grid of element-wise
+        results instead of one walk per cell.
+        """
+        elements = [self.decrypt_raw(mpk, skf, ct) for skf, ct in items]
+        solver = solver or self.solver_for(bound)
+        return solver.solve_many(elements)
 
     def solver_for(self, bound: int) -> DlogSolver:
         """Public accessor for the cached bounded-dlog solver."""

@@ -41,6 +41,7 @@ from repro.fe.keys import (
     key_fingerprint,
 )
 from repro.mathutils.dlog import GLOBAL_SOLVER_CACHE, DlogSolver, SolverCache
+from repro.mathutils.fastexp import SharedBaseMultiExp
 from repro.mathutils.group import GroupParams, SchnorrGroup
 
 
@@ -138,6 +139,46 @@ class Feip:
         element = self.decrypt_raw(mpk, ciphertext, skf)
         solver = solver or self.solver_for(bound)
         return solver.solve(element)
+
+    def decrypt_rows(self, mpk: FeipPublicKey, ciphertext: FeipCiphertext,
+                     keys: Sequence[FeipFunctionKey], bound: int,
+                     solver: DlogSolver | None = None) -> list[int]:
+        """Recover ``[<x, y_i>]`` for every key against one ciphertext.
+
+        The batched form of :meth:`decrypt`: all rows of a decryption
+        matrix share the same ciphertext bases, so one
+        :class:`~repro.mathutils.fastexp.SharedBaseMultiExp` context
+        builds the per-base window tables (and the amortized ``ct_0``
+        comb) once, evaluates every ``(y_i, -sk_i)`` row against them,
+        and hands the whole column of group elements to the solver's
+        shared giant-step walk.  Row *i* of the result equals
+        ``decrypt(mpk, ciphertext, keys[i], bound)`` exactly -- the
+        per-row path remains the reference implementation.
+
+        Raises:
+            DiscreteLogError: when any inner product falls outside
+                ``[-bound, bound]``.
+        """
+        keys = list(keys)
+        for skf in keys:
+            if ciphertext.eta != len(skf.y):
+                raise CiphertextError(
+                    f"ciphertext length {ciphertext.eta} != weight length "
+                    f"{len(skf.y)}"
+                )
+        if not keys:
+            return []
+        group = self.group
+        context = SharedBaseMultiExp(
+            ciphertext.ct, group.p, order=group.q,
+            fixed_base=ciphertext.ct0, rows_hint=len(keys),
+        )
+        elements = context.eval_many(
+            [skf.y for skf in keys],
+            fixed_exponents=[-skf.sk for skf in keys],
+        )
+        solver = solver or self.solver_for(bound)
+        return solver.solve_many(elements)
 
     def solver_for(self, bound: int) -> DlogSolver:
         """Public accessor for the cached bounded-dlog solver."""

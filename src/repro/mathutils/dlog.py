@@ -12,6 +12,8 @@ of decryptions a single training iteration performs.
 from __future__ import annotations
 
 import math
+from collections import OrderedDict
+from collections.abc import Sequence
 
 from repro.mathutils.group import SchnorrGroup
 
@@ -101,6 +103,60 @@ class DlogSolver:
             raise DiscreteLogError(f"expected non-negative exponent, got {value}")
         return value
 
+    def solve_many(self, elements: Sequence[int]) -> list[int]:
+        """Solve a whole batch of targets, sharing one giant-step walk.
+
+        Targets are deduplicated first (a decryption matrix repeats
+        values whenever two rows agree), then all still-unsolved gammas
+        advance through the giant-step stride together, dropping out as
+        they hit the baby-step table -- one shared walk loop for the m
+        dlogs of a column instead of m restarts.  Under the dense-table
+        fast path (the whole window fits in the table, so every query is
+        one lookup) batching buys nothing and each element goes through
+        :meth:`solve` directly.
+
+        Raises:
+            DiscreteLogError: when any element has no exponent in
+                ``[-bound, bound]`` -- same contract as :meth:`solve`.
+        """
+        elements = [int(h) for h in elements]
+        if not elements:
+            return []
+        window = 2 * self.bound + 1
+        if self.table_size >= window:
+            return [self.solve(h) for h in elements]
+        # dedup: equal targets share one walk and one result
+        solved: dict[int, int] = {}
+        p = self.group.p
+        shift = self._shift
+        pending: dict[int, int] = {}  # target h -> current gamma
+        for h in elements:
+            if h not in pending:
+                pending[h] = h * shift % p
+        baby = self._baby_steps
+        giant = self._giant_step
+        table_size, bound = self.table_size, self.bound
+        for i in range(self._max_giant_steps + 1):
+            if not pending:
+                break
+            base_shift = i * table_size - bound
+            still: dict[int, int] = {}
+            for h, gamma in pending.items():
+                j = baby.get(gamma)
+                if j is not None:
+                    candidate = base_shift + j
+                    if -bound <= candidate <= bound:
+                        solved[h] = candidate
+                        continue
+                still[h] = gamma * giant % p
+            pending = still
+        if pending:
+            raise DiscreteLogError(
+                f"{len(pending)} of {len(elements)} targets have no "
+                f"discrete log within [-{self.bound}, {self.bound}]"
+            )
+        return [solved[h] for h in elements]
+
 
 def discrete_log_linear(group: SchnorrGroup, h: int, bound: int) -> int:
     """Exhaustive-scan fallback used to cross-check BSGS in tests.
@@ -122,16 +178,34 @@ def discrete_log_linear(group: SchnorrGroup, h: int, bound: int) -> int:
     raise DiscreteLogError(f"no discrete log within [-{bound}, {bound}]")
 
 
+#: Entry cap of the process-wide :data:`GLOBAL_SOLVER_CACHE`.  Each dense
+#: solver can pin up to :data:`DENSE_TABLE_CAP` group elements, so a
+#: long-lived service meeting many distinct bounds (every new tenant or
+#: layer shape introduces one) would otherwise grow without limit --
+#: the same reason ``FIXED_BASE_CACHE_ENTRIES`` bounds the comb tables.
+#: Unlike the comb budget (which stops building), stale *solvers* are
+#: safe to LRU-evict: a rebuilt baby-step table is slow, not wrong.
+GLOBAL_SOLVER_CACHE_ENTRIES = 64
+
+
 class SolverCache:
     """Per-(group, bound) cache of :class:`DlogSolver` instances.
 
     Building the baby-step table is the expensive part of decryption;
     training touches the same handful of bounds over and over, so the
     secure-computation layer routes all dlog queries through one of these.
+
+    ``max_entries`` bounds the cache with least-recently-used eviction;
+    the default (None) keeps it unbounded, which is what in-process
+    experiments with a handful of bounds want.
     """
 
-    def __init__(self) -> None:
-        self._solvers: dict[tuple[int, int, int], DlogSolver] = {}
+    def __init__(self, max_entries: int | None = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be >= 1 (or None)")
+        self.max_entries = max_entries
+        self._solvers: OrderedDict[tuple[int, int, int], DlogSolver] = \
+            OrderedDict()
 
     def get(self, group: SchnorrGroup, bound: int) -> DlogSolver:
         key = (group.p, group.g, bound)
@@ -139,6 +213,11 @@ class SolverCache:
         if solver is None:
             solver = DlogSolver(group, bound)
             self._solvers[key] = solver
+            if self.max_entries is not None:
+                while len(self._solvers) > self.max_entries:
+                    self._solvers.popitem(last=False)
+        else:
+            self._solvers.move_to_end(key)
         return solver
 
     def clear(self) -> None:
@@ -149,5 +228,6 @@ class SolverCache:
 
 
 #: Process-wide default cache.  Library code accepts an explicit cache for
-#: isolation (tests) but falls back to this shared one.
-GLOBAL_SOLVER_CACHE = SolverCache()
+#: isolation (tests) but falls back to this shared one; it is bounded so
+#: long-lived services cannot accumulate dlog tables indefinitely.
+GLOBAL_SOLVER_CACHE = SolverCache(max_entries=GLOBAL_SOLVER_CACHE_ENTRIES)

@@ -17,6 +17,16 @@ the reuse patterns of those exponentiations:
   product by sign and paying a single modular inversion, which keeps
   small negative exponents small instead of reducing them to full-width
   residues mod the group order.
+* :class:`SharedBaseMultiExp` -- the batched form of the same product
+  when *many* exponent vectors hit the *same* base tuple, which is
+  exactly the shape of FEIP matrix decryption: every row key of ``W x``
+  evaluates against the one column ciphertext ``(ct_0, ct_1..ct_eta)``.
+  The context builds per-base odd-power window tables once (signed
+  digits, with inverse tables batch-inverted on first use) plus an
+  amortized fixed-base comb for ``ct_0``, then
+  :meth:`~SharedBaseMultiExp.eval_many` walks one recoding/squaring
+  chain per row against the shared tables -- m rows pay one table
+  build instead of m.
 
 Both are pure Python over ``int``; they beat CPython's C ``pow`` only
 because they do asymptotically less work, so the window parameters are
@@ -28,12 +38,28 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
-from repro.mathutils.modarith import mod_inverse
+from repro.mathutils.modarith import batch_inverse, mod_inverse
 
 #: Exponent bit-width at or below which a plain ``pow`` loop beats the
 #: interleaved multi-exponentiation (C pow on a tiny exponent costs less
 #: than the Python-level bookkeeping of a shared window walk).
 NAIVE_MULTIEXP_BITS = 16
+
+#: Below this modulus size C ``pow`` beats any Python-level table walk,
+#: so :class:`SharedBaseMultiExp` evaluates rows through per-row
+#: :func:`multiexp` instead of building shared tables (same policy as
+#: ``FIXED_BASE_MIN_BITS`` on :class:`SchnorrGroup`).
+SHARED_TABLE_MIN_BITS = 64
+
+#: Exponent bit-width at or below which the shared window walk stops
+#: paying for its recoding overhead and per-row :func:`multiexp` (which
+#: bottoms out in tiny C ``pow`` calls) wins.
+SHARED_NAIVE_BITS = 4
+
+#: Minimum row count before the per-context fixed-base comb (the
+#: ``ct_0`` table) amortizes its build cost over the batch; below it a
+#: plain full-width ``pow`` per row is cheaper.
+SHARED_FIXED_BASE_MIN_ROWS = 8
 
 
 def _comb_window(bits: int) -> int:
@@ -207,3 +233,230 @@ def multiexp(bases: Sequence[int], exponents: Sequence[int], modulus: int,
         denom = _multiexp_nonneg(negative, modulus)
         result = result * mod_inverse(denom, modulus) % modulus
     return result
+
+
+def amortized_comb_window(bits: int, uses: int) -> int:
+    """Comb window minimizing build + ``uses`` evaluations.
+
+    :func:`_comb_window` optimizes for a base reused thousands of times
+    (``g``, the ``h_i``); a per-column ``ct_0`` table is only reused by
+    the m rows of one decryption batch, so the build cost must be
+    weighed against the batch size -- small batches want narrow windows.
+    """
+    best_w, best_cost = 1, None
+    for w in range(1, 11):
+        num_windows = (bits + w - 1) // w
+        cost = num_windows * ((1 << w) - 1 + uses)
+        if best_cost is None or cost < best_cost:
+            best_w, best_cost = w, cost
+    return best_w
+
+
+def _shared_window(max_bits: int, n_bases: int, rows: int) -> int:
+    """Odd-power window width for a shared-base batch.
+
+    Cost model: ``2^(w-1)`` precomputed odd powers per base amortized
+    over the batch, against roughly ``max_bits / (w + 1)`` non-zero
+    sliding-window digits per base per row.
+    """
+    rows = max(rows, 1)
+    best_w, best_cost = 1, None
+    for w in range(1, 9):
+        build = n_bases * (1 << (w - 1))
+        per_row = n_bases * (max_bits / (w + 1) + 1)
+        cost = build + rows * per_row
+        if best_cost is None or cost < best_cost:
+            best_w, best_cost = w, cost
+    return best_w
+
+
+class SharedBaseMultiExp:
+    """Batched multi-exponentiation over one shared tuple of bases.
+
+    Built for the decryption matrix of a secure dot product: a column
+    ciphertext fixes the bases ``(ct_1..ct_eta)`` (plus ``ct_0``), and
+    every row key contributes one signed exponent vector.  Per base the
+    context stores the odd powers ``b, b^3, .., b^(2^w - 1)`` once;
+    :meth:`eval_many` then recodes each row into sliding odd-digit
+    windows and walks one squaring chain per row, so the per-base table
+    builds -- the part :func:`multiexp` repays on every call -- are paid
+    once per column instead of once per row.  Negative digits read from
+    inverse tables produced lazily by one Montgomery batch inversion.
+
+    The optional ``fixed_base`` (FEIP's ``ct_0``) gets a
+    :class:`FixedBaseExp` comb sized by :func:`amortized_comb_window`
+    for the expected batch, because its exponents (``-sk_f``) are
+    full-width scalars for which the shared small-digit walk is wrong.
+
+    Toy moduli (< :data:`SHARED_TABLE_MIN_BITS` bits) and tiny exponent
+    batches fall back to per-row :func:`multiexp`, which bottoms out in
+    C ``pow`` -- the same crossover policy the rest of the engine uses.
+    Results are exact integers either way; only the schedule changes.
+    """
+
+    def __init__(self, bases: Sequence[int], modulus: int,
+                 order: int | None = None, fixed_base: int | None = None,
+                 rows_hint: int | None = None, window: int | None = None):
+        if modulus <= 1:
+            raise ValueError("modulus must be > 1")
+        if window is not None and window < 1:
+            raise ValueError("window must be >= 1")
+        self.bases = [b % modulus for b in bases]
+        self.modulus = modulus
+        self.order = order
+        self.rows_hint = rows_hint
+        self.fixed_base = fixed_base % modulus if fixed_base is not None \
+            else None
+        self._forced_window = window
+        self.window: int | None = None
+        self._tables: list[list[int]] | None = None
+        self._inv_tables: list[list[int]] | None = None
+        self._fixed_table: FixedBaseExp | None = None
+        self._fixed_decided = False
+
+    # -- table management -----------------------------------------------------
+    def _use_tables(self, max_bits: int) -> bool:
+        if self._forced_window is not None:
+            return True
+        return (self.modulus.bit_length() >= SHARED_TABLE_MIN_BITS
+                and max_bits > SHARED_NAIVE_BITS
+                and bool(self.bases))
+
+    def _ensure_tables(self, max_bits: int, n_rows: int) -> None:
+        if self._tables is not None:
+            return
+        w = self._forced_window or _shared_window(
+            max_bits, len(self.bases), self.rows_hint or n_rows)
+        self.window = w
+        modulus = self.modulus
+        tables: list[list[int]] = []
+        for base in self.bases:
+            sq = base * base % modulus
+            row = [base]
+            acc = base
+            for _ in range((1 << (w - 1)) - 1):
+                acc = acc * sq % modulus
+                row.append(acc)
+            tables.append(row)  # row[k] == base ** (2k + 1)
+        self._tables = tables
+
+    def _ensure_inverse_tables(self) -> list[list[int]]:
+        if self._inv_tables is None:
+            # one gcd for every entry of every table (Montgomery trick)
+            flat = [entry for row in self._tables for entry in row]
+            inv_flat = batch_inverse(flat, self.modulus)
+            per = len(self._tables[0]) if self._tables else 0
+            self._inv_tables = [inv_flat[i * per:(i + 1) * per]
+                                for i in range(len(self._tables))]
+        return self._inv_tables
+
+    def _fixed_pow(self, exponent: int, n_rows: int) -> int:
+        if not self._fixed_decided:
+            self._fixed_decided = True
+            uses = self.rows_hint or n_rows
+            if (self.order is not None
+                    and self.modulus.bit_length() >= SHARED_TABLE_MIN_BITS
+                    and uses >= SHARED_FIXED_BASE_MIN_ROWS):
+                self._fixed_table = FixedBaseExp(
+                    self.fixed_base, self.modulus, self.order,
+                    window=amortized_comb_window(self.order.bit_length(),
+                                                 uses))
+        if self._fixed_table is not None:
+            return self._fixed_table.pow(exponent)
+        if self.order is not None:
+            exponent %= self.order
+        return pow(self.fixed_base, exponent, self.modulus)
+
+    # -- evaluation -----------------------------------------------------------
+    def _reduce(self, e: int) -> int:
+        e = int(e)
+        if self.order is not None:
+            e %= self.order
+            if e > self.order // 2:
+                e -= self.order
+        return e
+
+    def _eval_row(self, exponents: list[int]) -> int:
+        """One signed row against the shared tables (sliding odd digits)."""
+        w = self.window
+        mask = (1 << w) - 1
+        modulus = self.modulus
+        events: dict[int, list[int]] = {}
+        top = -1
+        inv_tables = None
+        for idx, e in enumerate(exponents):
+            if e == 0:
+                continue
+            if e > 0:
+                table = self._tables[idx]
+            else:
+                if inv_tables is None:
+                    inv_tables = self._ensure_inverse_tables()
+                table = inv_tables[idx]
+                e = -e
+            pos = 0
+            while e:
+                tz = (e & -e).bit_length() - 1
+                e >>= tz
+                pos += tz
+                digit = e & mask  # odd, < 2^w
+                events.setdefault(pos, []).append(table[digit >> 1])
+                e >>= w
+                pos += w
+            if pos - 1 > top:
+                top = pos - 1
+        if top < 0:
+            return 1
+        acc = 1
+        for k in range(top, -1, -1):
+            if k != top:
+                acc = acc * acc % modulus
+            hits = events.get(k)
+            if hits:
+                for element in hits:
+                    acc = acc * element % modulus
+        return acc
+
+    def eval_many(self, rows: Sequence[Sequence[int]],
+                  fixed_exponents: Sequence[int] | None = None) -> list[int]:
+        """Return ``[prod_j bases[j] ** rows[i][j] mod modulus]`` per row.
+
+        With ``fixed_exponents`` given (one scalar per row), each result
+        is additionally multiplied by ``fixed_base ** fixed_exponents[i]``
+        through the amortized comb -- the ``ct_0^{-sk}`` half of FEIP
+        decryption.  Exponents may be signed or exceed ``order`` exactly
+        as with :func:`multiexp`.
+        """
+        rows = [list(row) for row in rows]
+        for row in rows:
+            if len(row) != len(self.bases):
+                raise ValueError(
+                    f"row length {len(row)} != base count {len(self.bases)}")
+        if fixed_exponents is not None:
+            if self.fixed_base is None:
+                raise ValueError("fixed_exponents given without a fixed_base")
+            if len(fixed_exponents) != len(rows):
+                raise ValueError(
+                    "fixed_exponents must supply one exponent per row")
+        reduced = [[self._reduce(e) for e in row] for row in rows]
+        max_bits = max((abs(e).bit_length() for row in reduced for e in row),
+                       default=0)
+        if max_bits and self._use_tables(max_bits):
+            self._ensure_tables(max_bits, len(rows))
+            results = [self._eval_row(row) for row in reduced]
+        else:
+            results = [multiexp(self.bases, row, self.modulus,
+                                order=self.order) for row in reduced]
+        if fixed_exponents is not None:
+            modulus = self.modulus
+            results = [
+                value * self._fixed_pow(int(fe), len(rows)) % modulus
+                for value, fe in zip(results, fixed_exponents)
+            ]
+        return results
+
+    def eval(self, exponents: Sequence[int],
+             fixed_exponent: int | None = None) -> int:
+        """Single-row convenience wrapper over :meth:`eval_many`."""
+        fixed = None if fixed_exponent is None else [fixed_exponent]
+        return self.eval_many([exponents], fixed_exponents=fixed)[0]

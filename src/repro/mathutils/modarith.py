@@ -28,6 +28,34 @@ def mod_inverse(a: int, m: int) -> int:
     return x % m
 
 
+def batch_inverse(values: list[int], m: int) -> list[int]:
+    """Invert many residues modulo ``m`` with a single extended gcd.
+
+    Montgomery's trick: one :func:`mod_inverse` of the running product
+    plus three multiplications per element, instead of one gcd each --
+    the gcd is ~85x the cost of a multiplication at 256 bits, so this is
+    what makes signed-digit tables affordable in
+    :class:`repro.mathutils.fastexp.SharedBaseMultiExp`.
+
+    Raises:
+        ValueError: if any value shares a factor with ``m``.
+    """
+    if not values:
+        return []
+    prefix = []
+    acc = 1
+    for v in values:
+        acc = acc * v % m
+        prefix.append(acc)
+    inv = mod_inverse(acc, m)
+    out: list[int] = [0] * len(values)
+    for i in range(len(values) - 1, 0, -1):
+        out[i] = prefix[i - 1] * inv % m
+        inv = inv * (values[i] % m) % m
+    out[0] = inv
+    return out
+
+
 def mod_sub(a: int, b: int, m: int) -> int:
     """Return ``(a - b) mod m`` with a non-negative result."""
     return (a - b) % m

@@ -74,6 +74,28 @@ def default_workers() -> int:
     return max(1, (os.cpu_count() or 2) - 1)
 
 
+#: Column chunks produced per worker by a ``secure_dot`` dispatch: enough
+#: slack for load balancing across uneven columns, few enough that the
+#: per-chunk state shipment (config blob + chunk pickle) stays marginal.
+DOT_CHUNKS_PER_WORKER = 2
+
+
+def chunk_tasks(tasks: Sequence, n_chunks: int) -> list[tuple]:
+    """Split ``tasks`` into at most ``n_chunks`` contiguous chunks.
+
+    Every task appears in exactly one chunk and no chunk is empty, for
+    any ``n_tasks``/``n_chunks`` combination (the regression tests sweep
+    the awkward ones).
+    """
+    tasks = list(tasks)
+    if not tasks:
+        return []
+    n_chunks = max(1, min(int(n_chunks), len(tasks)))
+    per_chunk = -(-len(tasks) // n_chunks)
+    return [tuple(tasks[i:i + per_chunk])
+            for i in range(0, len(tasks), per_chunk)]
+
+
 # -- worker side -------------------------------------------------------------
 
 def _install_config(config: tuple) -> dict:
@@ -122,12 +144,22 @@ def _dot_column(config: tuple, task: tuple[int, FeipCiphertext]
     j, column_ct = task
     feip: Feip = state["feip"]
     solver = state["solver"]
-    mpk = state["mpk"]
-    values = [
-        solver.solve(feip.decrypt_raw(mpk, column_ct, key))
-        for key in state["keys"]
-    ]
+    values = feip.decrypt_rows(state["mpk"], column_ct, state["keys"],
+                               solver.bound, solver=solver)
     return j, values
+
+
+def _dot_columns(config: tuple,
+                 chunk: tuple[tuple[int, FeipCiphertext], ...]
+                 ) -> list[tuple[int, list[int]]]:
+    """Decrypt a whole chunk of columns against every row key.
+
+    One task per chunk means the config blob and the bound function
+    cross the process boundary once per chunk, and each column
+    ciphertext crosses exactly once; inside, ``decrypt_rows`` shares
+    the per-column window tables across all rows.
+    """
+    return [_dot_column(config, task) for task in chunk]
 
 
 def _elementwise_cell(
@@ -266,7 +298,7 @@ class SecureComputePool:
         return self.configure("encrypt", (params, feip_mpk, febo_mpk))
 
     def _map(self, fn, config: tuple, tasks, parallelism_hint: int,
-             n_tasks: int | None = None) -> list:
+             n_tasks: int | None = None, chunksize: int | None = None) -> list:
         """Dispatch ``tasks`` under ``config``, surviving one worker crash.
 
         ``tasks`` is either a sequence or a zero-argument callable
@@ -292,7 +324,8 @@ class SecureComputePool:
             factory = lambda: tasks  # noqa: E731
         if n_tasks is None:
             n_tasks = len(tasks)
-        chunksize = max(1, n_tasks // (self.workers * parallelism_hint) or 1)
+        if chunksize is None:
+            chunksize = max(1, n_tasks // (self.workers * parallelism_hint))
         self.dispatches += 1
         bound_fn = partial(fn, config)
         executor = self._ensure_executor()
@@ -314,14 +347,24 @@ class SecureComputePool:
     def secure_dot(self, params: GroupParams, mpk: FeipPublicKey,
                    columns: Sequence[FeipCiphertext],
                    keys: Sequence[FeipFunctionKey], bound: int) -> np.ndarray:
-        """Decrypt every column against every row key; shape (keys, cols)."""
+        """Decrypt every column against every row key; shape (keys, cols).
+
+        Columns are pre-chunked so each worker task carries a run of
+        columns: the stamped config and each column ciphertext cross the
+        process boundary once per chunk, and inside a chunk
+        ``Feip.decrypt_rows`` amortizes the shared-base window tables,
+        the ``ct_0`` comb and the giant-step walk over all ``m`` rows.
+        """
         keys = list(keys)
         config = self.configure_dot(params, mpk, keys, bound)
         z = np.empty((len(keys), len(columns)), dtype=object)
-        for j, values in self._map(_dot_column, config,
-                                   list(enumerate(columns)), 4):
-            for i, value in enumerate(values):
-                z[i, j] = value
+        chunks = chunk_tasks(list(enumerate(columns)),
+                             self.workers * DOT_CHUNKS_PER_WORKER)
+        for chunk_result in self._map(_dot_columns, config, chunks, 1,
+                                      chunksize=1):
+            for j, values in chunk_result:
+                for i, value in enumerate(values):
+                    z[i, j] = value
         return z
 
     def secure_elementwise(self, params: GroupParams, mpk: FeboPublicKey,

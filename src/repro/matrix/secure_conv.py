@@ -141,18 +141,26 @@ class SecureConvolution:
     def secure_convolve(self, encrypted: EncryptedWindows,
                         key: FeipFunctionKey, bound: int) -> np.ndarray:
         """Decrypt one inner product per output position (lines 2-8)."""
-        if self.mpk is None:
-            raise CiphertextError("no FEIP public key; run setup() first")
-        out_h, out_w = encrypted.out_shape
-        solver = self.feip.solver_for(bound)
-        z = np.empty((out_h, out_w), dtype=object)
-        for pos, window_ct in enumerate(encrypted.windows):
-            element = self.feip.decrypt_raw(self.mpk, window_ct, key)
-            z[pos // out_w, pos % out_w] = solver.solve(element)
-        return z
+        return self.secure_convolve_bank(encrypted, [key], bound)[0]
 
     def secure_convolve_bank(self, encrypted: EncryptedWindows,
                              keys: Sequence[FeipFunctionKey],
                              bound: int) -> np.ndarray:
-        """Apply a bank of filters; returns shape (F, out_h, out_w)."""
-        return np.stack([self.secure_convolve(encrypted, k, bound) for k in keys])
+        """Apply a bank of filters; returns shape (F, out_h, out_w).
+
+        The patch loop is batched across the filter dimension: every
+        window ciphertext is decrypted against the whole bank in one
+        ``decrypt_rows`` call, so the per-window base tables and the
+        giant-step walk are shared by all F filters instead of being
+        rebuilt filter by filter.
+        """
+        if self.mpk is None:
+            raise CiphertextError("no FEIP public key; run setup() first")
+        keys = list(keys)
+        out_h, out_w = encrypted.out_shape
+        solver = self.feip.solver_for(bound)
+        z = np.empty((len(keys), out_h, out_w), dtype=object)
+        for pos, window_ct in enumerate(encrypted.windows):
+            z[:, pos // out_w, pos % out_w] = self.feip.decrypt_rows(
+                self.mpk, window_ct, keys, bound, solver=solver)
+        return z

@@ -239,12 +239,13 @@ class SecureMatrixScheme:
         if self.pool is not None:
             return self.pool.secure_dot(self.params, self.feip_mpk, columns,
                                         keys, bound)
+        # batched per column: all rows share the ciphertext bases, so one
+        # decrypt_rows call amortizes the window tables and the dlog walk
         solver = self.feip.solver_for(bound)
         z = np.empty((len(keys), len(columns)), dtype=object)
-        for i, key in enumerate(keys):
-            for j, column_ct in enumerate(columns):
-                element = self.feip.decrypt_raw(self.feip_mpk, column_ct, key)
-                z[i, j] = solver.solve(element)
+        for j, column_ct in enumerate(columns):
+            z[:, j] = self.feip.decrypt_rows(self.feip_mpk, column_ct, keys,
+                                             bound, solver=solver)
         return z
 
     def secure_elementwise(self, encrypted: EncryptedMatrix,
@@ -268,12 +269,15 @@ class SecureMatrixScheme:
             )
             return self.pool.secure_elementwise(self.params, self.febo_mpk,
                                                 tasks, (rows, cols), bound)
-        solver = self.febo.solver_for(bound)
+        # independent bases, but the bounded dlogs still batch: one
+        # deduplicated giant-step walk covers the whole grid
+        values = self.febo.decrypt_many(
+            self.febo_mpk,
+            [(keys[i][j], elements[i][j])
+             for i in range(rows) for j in range(cols)],
+            bound,
+        )
         z = np.empty((rows, cols), dtype=object)
-        for i in range(rows):
-            for j in range(cols):
-                element = self.febo.decrypt_raw(
-                    self.febo_mpk, keys[i][j], elements[i][j]
-                )
-                z[i, j] = solver.solve(element)
+        if z.size:
+            z[...] = [values[i * cols:(i + 1) * cols] for i in range(rows)]
         return z

@@ -71,6 +71,50 @@ class TestDlogSolver:
                 assert discrete_log_linear(group, h, 64) == m
 
 
+class TestSolveMany:
+    """solve_many must agree with per-element solve on every input class."""
+
+    def test_dense_fast_path_matches_solve(self, group):
+        solver = DlogSolver(group, bound=1000)  # window fits the table
+        assert solver.table_size >= 2 * solver.bound + 1
+        values = [0, 1, -1, 42, -999, 1000, -1000, 42, 0]
+        targets = [group.gexp(v) for v in values]
+        assert solver.solve_many(targets) == values
+        assert solver.solve_many(targets) == [solver.solve(h)
+                                              for h in targets]
+
+    def test_batched_walk_matches_solve(self, group, rng):
+        # a small table forces real giant-stepping: the batched path
+        solver = DlogSolver(group, bound=4000, table_size=23)
+        values = [rng.randrange(-4000, 4001) for _ in range(50)]
+        values += [4000, -4000, 0] + values[:10]  # edges + duplicates
+        targets = [group.gexp(v) for v in values]
+        assert solver.solve_many(targets) == values
+        assert solver.solve_many(targets) == [solver.solve(h)
+                                              for h in targets]
+
+    def test_empty_batch(self, group):
+        assert DlogSolver(group, bound=10).solve_many([]) == []
+
+    @pytest.mark.parametrize("table_size", [None, 7])
+    def test_out_of_bound_raises_like_solve(self, group, table_size):
+        solver = DlogSolver(group, bound=50, table_size=table_size)
+        bad = group.gexp(51)
+        with pytest.raises(DiscreteLogError):
+            solver.solve(bad)
+        with pytest.raises(DiscreteLogError):
+            solver.solve_many([bad])
+        with pytest.raises(DiscreteLogError):
+            # one bad apple fails the whole batch, as m solve() calls would
+            solver.solve_many([group.gexp(3), bad, group.gexp(-50)])
+
+    def test_deduplicates_repeated_targets(self, group):
+        solver = DlogSolver(group, bound=600, table_size=11)
+        target = group.gexp(123)
+        assert solver.solve_many([target] * 40 + [group.gexp(-7)]) == \
+            [123] * 40 + [-7]
+
+
 class TestSolverCache:
     def test_reuses_solver(self, group):
         cache = SolverCache()
@@ -89,3 +133,37 @@ class TestSolverCache:
         cache.get(group, 10)
         cache.clear()
         assert len(cache) == 0
+
+    def test_unbounded_by_default(self, group):
+        cache = SolverCache()
+        for bound in range(1, 101):
+            cache.get(group, bound)
+        assert len(cache) == 100
+
+    def test_lru_eviction_past_cap(self, group):
+        cache = SolverCache(max_entries=3)
+        solvers = {b: cache.get(group, b) for b in (10, 20, 30)}
+        assert len(cache) == 3
+        cache.get(group, 40)  # evicts bound=10, the least recently used
+        assert len(cache) == 3
+        assert cache.get(group, 20) is solvers[20]  # survived
+        assert cache.get(group, 10) is not solvers[10]  # rebuilt
+
+    def test_get_refreshes_recency(self, group):
+        cache = SolverCache(max_entries=2)
+        first = cache.get(group, 10)
+        cache.get(group, 20)
+        assert cache.get(group, 10) is first  # touch: 10 is now newest
+        cache.get(group, 30)  # must evict 20, not 10
+        assert cache.get(group, 10) is first
+
+    def test_rejects_bad_cap(self):
+        with pytest.raises(ValueError):
+            SolverCache(max_entries=0)
+
+    def test_global_cache_is_bounded(self):
+        from repro.mathutils.dlog import (
+            GLOBAL_SOLVER_CACHE,
+            GLOBAL_SOLVER_CACHE_ENTRIES,
+        )
+        assert GLOBAL_SOLVER_CACHE.max_entries == GLOBAL_SOLVER_CACHE_ENTRIES

@@ -19,12 +19,19 @@ from repro.matrix.secure_matrix import (
     matrix_bound_dot,
     matrix_bound_elementwise,
 )
-from repro.mathutils.fastexp import FixedBaseExp, multiexp
+from repro.mathutils.fastexp import (
+    SHARED_FIXED_BASE_MIN_ROWS,
+    FixedBaseExp,
+    SharedBaseMultiExp,
+    amortized_comb_window,
+    multiexp,
+)
 from repro.mathutils.group import (
     FIXED_BASE_MIN_BITS,
     GroupParams,
     SchnorrGroup,
 )
+from repro.mathutils.modarith import batch_inverse, mod_inverse
 
 
 def reference_product(bases, exponents, p, q):
@@ -141,6 +148,131 @@ class TestMultiexp:
         exponents = [rng.randrange(-300, 300) for _ in range(5)]
         assert group.multiexp(bases, exponents) == \
             reference_product(bases, exponents, params.p, params.q)
+
+
+class TestSharedBaseMultiExp:
+    """eval_many must equal per-row multiexp must equal naive pow."""
+
+    @pytest.mark.parametrize("bits", [32, 64, 128])
+    @pytest.mark.parametrize("shape", [(1, 1), (3, 4), (12, 6), (2, 40)])
+    def test_matches_per_row_multiexp_and_pow(self, bits, shape):
+        params = GroupParams.predefined(bits)
+        group = SchnorrGroup(params, rng=random.Random(bits))
+        rng = random.Random(bits * 100 + shape[0])
+        m, eta = shape
+        bases = [group.random_element() for _ in range(eta)]
+        rows = [[rng.randrange(-500, 501) for _ in range(eta)]
+                for _ in range(m)]
+        context = SharedBaseMultiExp(bases, params.p, order=params.q,
+                                     rows_hint=m)
+        results = context.eval_many(rows)
+        for row, got in zip(rows, results):
+            assert got == multiexp(bases, row, params.p, order=params.q)
+            assert got == reference_product(bases, row, params.p, params.q)
+
+    @pytest.mark.parametrize("window", [1, 2, 5])
+    def test_forced_window_exercises_tables_on_toy_group(self, params, group,
+                                                         window):
+        """Toy groups normally fall back to per-row multiexp; a forced
+        window must run the shared-table walk with identical results."""
+        rng = random.Random(window)
+        bases = [group.random_element() for _ in range(5)]
+        rows = [[rng.randrange(-300, 301) for _ in range(5)]
+                for _ in range(6)]
+        forced = SharedBaseMultiExp(bases, params.p, order=params.q,
+                                    window=window)
+        auto = SharedBaseMultiExp(bases, params.p, order=params.q)
+        assert forced.eval_many(rows) == auto.eval_many(rows)
+
+    def test_full_width_and_oversized_exponents(self, params, group, rng):
+        bases = [group.random_element() for _ in range(4)]
+        rows = [
+            [rng.randrange(-2 * params.q, 2 * params.q) for _ in range(4)]
+            for _ in range(5)
+        ]
+        context = SharedBaseMultiExp(bases, params.p, order=params.q)
+        for row, got in zip(rows, context.eval_many(rows)):
+            assert got == reference_product(bases, row, params.p, params.q)
+
+    def test_zero_rows_and_zero_exponents(self, params, group):
+        bases = [group.random_element() for _ in range(3)]
+        context = SharedBaseMultiExp(bases, params.p, order=params.q)
+        assert context.eval_many([]) == []
+        assert context.eval_many([[0, 0, 0]]) == [1]
+        assert context.eval([0, 5, 0]) == pow(bases[1], 5, params.p)
+
+    def test_fixed_base_combines_per_row(self, params, group, rng):
+        """ct0-style fixed base: full-width exponent folded per row."""
+        eta, m = 3, SHARED_FIXED_BASE_MIN_ROWS + 2
+        bases = [group.random_element() for _ in range(eta)]
+        fixed = group.random_element()
+        rows = [[rng.randrange(-200, 201) for _ in range(eta)]
+                for _ in range(m)]
+        fixed_exps = [rng.randrange(-params.q, params.q) for _ in range(m)]
+        context = SharedBaseMultiExp(bases, params.p, order=params.q,
+                                     fixed_base=fixed, rows_hint=m)
+        results = context.eval_many(rows, fixed_exponents=fixed_exps)
+        for row, fe, got in zip(rows, fixed_exps, results):
+            expected = reference_product(bases, row, params.p, params.q)
+            expected = expected * pow(fixed, fe % params.q, params.p) \
+                % params.p
+            assert got == expected
+
+    def test_fixed_base_comb_engages_above_threshold(self, rng):
+        """>= SHARED_FIXED_BASE_MIN_ROWS rows on a big group build the
+        amortized comb; results must not depend on which path ran."""
+        params = GroupParams.predefined(FIXED_BASE_MIN_BITS)
+        group = SchnorrGroup(params, rng=rng)
+        fixed = group.random_element()
+        few, many = 2, SHARED_FIXED_BASE_MIN_ROWS
+        for m in (few, many):
+            context = SharedBaseMultiExp([], params.p, order=params.q,
+                                         fixed_base=fixed, rows_hint=m)
+            exps = [rng.randrange(params.q) for _ in range(m)]
+            got = context.eval_many([[] for _ in range(m)],
+                                    fixed_exponents=exps)
+            assert got == [pow(fixed, e, params.p) for e in exps]
+            engaged = context._fixed_table is not None
+            assert engaged == (m >= SHARED_FIXED_BASE_MIN_ROWS)
+
+    def test_errors(self, params, group):
+        bases = [group.random_element() for _ in range(2)]
+        context = SharedBaseMultiExp(bases, params.p, order=params.q)
+        with pytest.raises(ValueError):
+            context.eval_many([[1, 2, 3]])  # row length mismatch
+        with pytest.raises(ValueError):
+            context.eval_many([[1, 2]], fixed_exponents=[3])  # no fixed base
+        ctx_fixed = SharedBaseMultiExp(bases, params.p, order=params.q,
+                                       fixed_base=group.random_element())
+        with pytest.raises(ValueError):
+            ctx_fixed.eval_many([[1, 2], [3, 4]], fixed_exponents=[1])
+        with pytest.raises(ValueError):
+            SharedBaseMultiExp(bases, 1)
+        with pytest.raises(ValueError):
+            SharedBaseMultiExp(bases, params.p, window=0)
+
+
+class TestAmortizedCombWindow:
+    def test_monotone_in_uses(self):
+        """More uses justify wider windows (more precomputation)."""
+        widths = [amortized_comb_window(256, uses)
+                  for uses in (1, 8, 64, 4096)]
+        assert widths == sorted(widths)
+        assert 1 <= widths[0] <= widths[-1] <= 10
+
+
+class TestBatchInverse:
+    def test_matches_mod_inverse(self, params, group, rng):
+        values = [group.random_element() for _ in range(17)]
+        assert batch_inverse(values, params.p) == \
+            [mod_inverse(v, params.p) for v in values]
+
+    def test_empty(self, params):
+        assert batch_inverse([], params.p) == []
+
+    def test_non_invertible_raises(self, params):
+        with pytest.raises(ValueError):
+            batch_inverse([1, params.p], params.p)
 
 
 class TestFeipUsesFastExp:

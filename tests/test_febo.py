@@ -137,3 +137,40 @@ class TestSemanticBehaviour:
         for op, expected in (("+", x + y), ("-", x - y), ("*", x * y)):
             key = febo.key_derive(msk, ct.cmt, op, y)
             assert febo.decrypt_raw(mpk, key, ct) == g.gexp(expected)
+
+
+class TestDecryptMany:
+    """Batched decryption (shared dlog walk) vs per-pair decrypt."""
+
+    def test_matches_per_pair_decrypt(self, febo, rng):
+        mpk, msk = febo.setup()
+        items = []
+        expected = []
+        for op in ("+", "-", "*"):
+            for _ in range(5):
+                x = rng.randrange(-50, 51)
+                y = rng.randrange(-50, 51)
+                ct = febo.encrypt(mpk, x)
+                key = febo.key_derive(msk, ct.cmt, op, y)
+                items.append((key, ct))
+                expected.append({"+": x + y, "-": x - y, "*": x * y}[op])
+        bound = 50 * 50 + 101
+        assert febo.decrypt_many(mpk, items, bound) == expected
+        assert febo.decrypt_many(mpk, items, bound) == [
+            febo.decrypt(mpk, key, ct, bound) for key, ct in items
+        ]
+
+    def test_empty(self, febo):
+        mpk, _ = febo.setup()
+        assert febo.decrypt_many(mpk, [], bound=10) == []
+
+    def test_out_of_bound_raises(self, febo):
+        mpk, msk = febo.setup()
+        good = febo.encrypt(mpk, 3)
+        bad = febo.encrypt(mpk, 40)
+        items = [
+            (febo.key_derive(msk, good.cmt, "+", 1), good),
+            (febo.key_derive(msk, bad.cmt, "*", 40), bad),  # 1600 > bound
+        ]
+        with pytest.raises(DiscreteLogError):
+            febo.decrypt_many(mpk, items, bound=100)

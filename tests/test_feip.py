@@ -104,6 +104,58 @@ class TestFailureModes:
             feip.decrypt(mpk, ct, key, bound=100)  # true value 10000
 
 
+class TestDecryptRows:
+    """Batched column decryption vs the per-row reference path."""
+
+    def _setup(self, feip, rng, eta=5, m=7, magnitude=40):
+        mpk, msk = feip.setup(eta)
+        x = [rng.randrange(-magnitude, magnitude + 1) for _ in range(eta)]
+        ct = feip.encrypt(mpk, x)
+        keys = [
+            feip.key_derive(
+                msk, [rng.randrange(-magnitude, magnitude + 1)
+                      for _ in range(eta)])
+            for _ in range(m)
+        ]
+        bound = eta * magnitude * magnitude + 1
+        return mpk, ct, keys, bound
+
+    def test_matches_per_row_decrypt(self, feip, rng):
+        mpk, ct, keys, bound = self._setup(feip, rng)
+        reference = [feip.decrypt(mpk, ct, key, bound) for key in keys]
+        assert feip.decrypt_rows(mpk, ct, keys, bound) == reference
+
+    def test_matches_on_larger_group(self, solver_cache):
+        import random as random_mod
+        feip = Feip(GroupParams.predefined(128), rng=random_mod.Random(3),
+                    solver_cache=solver_cache)
+        rng = random_mod.Random(4)
+        mpk, ct, keys, bound = self._setup(feip, rng, eta=4, m=12)
+        reference = [feip.decrypt(mpk, ct, key, bound) for key in keys]
+        assert feip.decrypt_rows(mpk, ct, keys, bound) == reference
+
+    def test_single_row_and_empty(self, feip, rng):
+        mpk, ct, keys, bound = self._setup(feip, rng, m=1)
+        assert feip.decrypt_rows(mpk, ct, keys, bound) == \
+            [feip.decrypt(mpk, ct, keys[0], bound)]
+        assert feip.decrypt_rows(mpk, ct, [], bound) == []
+
+    def test_out_of_bound_raises(self, feip):
+        mpk, msk = feip.setup(1)
+        ct = feip.encrypt(mpk, [100])
+        keys = [feip.key_derive(msk, [1]), feip.key_derive(msk, [100])]
+        with pytest.raises(DiscreteLogError):
+            feip.decrypt_rows(mpk, ct, keys, bound=100)  # 10000 overflows
+
+    def test_key_length_mismatch(self, feip):
+        mpk, msk = feip.setup(2)
+        ct = feip.encrypt(mpk, [1, 2])
+        _, msk3 = feip.setup(3)
+        bad = feip.key_derive(msk3, [1, 2, 3])
+        with pytest.raises(CiphertextError):
+            feip.decrypt_rows(mpk, ct, [bad], bound=100)
+
+
 class TestSemanticBehaviour:
     def test_same_plaintext_fresh_randomness(self, feip):
         mpk, _ = feip.setup(2)

@@ -7,6 +7,8 @@ import pytest
 
 from repro.fe.feip import Feip
 from repro.matrix.parallel import (
+    SecureComputePool,
+    chunk_tasks,
     default_workers,
     secure_convolve_parallel,
     secure_dot_parallel,
@@ -29,6 +31,72 @@ def random_matrix(rng, rows, cols, lo=-15, hi=15):
 
 def test_default_workers_positive():
     assert default_workers() >= 1
+
+
+def _echo_task(config, task):
+    return task
+
+
+class TestChunking:
+    """Every task must land in exactly one chunk, for any shape."""
+
+    @pytest.mark.parametrize("n_tasks", [0, 1, 2, 3, 7, 8, 13, 64, 101])
+    @pytest.mark.parametrize("n_chunks", [1, 2, 3, 5, 8, 100])
+    def test_chunk_tasks_covers_all_tasks(self, n_tasks, n_chunks):
+        tasks = list(range(n_tasks))
+        chunks = chunk_tasks(tasks, n_chunks)
+        assert [t for chunk in chunks for t in chunk] == tasks
+        assert all(chunks), "no chunk may be empty"
+        assert len(chunks) <= max(1, min(n_chunks, n_tasks) or 1)
+
+    @pytest.mark.parametrize("count", [1, 2, 3, 7, 8, 9, 16, 31])
+    @pytest.mark.parametrize("workers", [1, 2, 3, 4])
+    def test_nonce_chunks_cover_count(self, count, workers):
+        """The remainder path must account for every requested nonce."""
+        pool = SecureComputePool(workers=workers)
+        chunks = pool._nonce_chunks(count)
+        assert sum(chunks) == count
+        assert all(c >= 1 for c in chunks)
+
+    @pytest.mark.parametrize("n_tasks,parallelism_hint",
+                             [(0, 4), (1, 4), (3, 8), (5, 2), (17, 4)])
+    def test_map_chunksize_always_positive(self, n_tasks, parallelism_hint,
+                                           monkeypatch):
+        """The simplified heuristic must never hand chunksize=0 to
+        executor.map (n_tasks below workers*hint used to need the
+        double guard).  A fake executor captures what _map actually
+        passes, without forking workers."""
+        pool = SecureComputePool(workers=4)
+        seen = {}
+
+        class FakeExecutor:
+            def map(self, fn, tasks, chunksize=None):
+                seen["chunksize"] = chunksize
+                return [fn(t) for t in tasks]
+
+        monkeypatch.setattr(pool, "_ensure_executor",
+                            lambda: FakeExecutor())
+        tasks = list(range(n_tasks))
+        out = pool._map(_echo_task, ("config",), tasks, parallelism_hint)
+        assert out == tasks
+        assert seen["chunksize"] >= 1
+
+    def test_pooled_dot_awkward_column_counts(self, params, rng,
+                                              solver_cache):
+        """Column counts that do not divide the chunk count must still
+        decrypt every column (the pre-chunked secure_dot dispatch)."""
+        scheme = SecureMatrixScheme(params, rng=rng, solver_cache=solver_cache)
+        msk_ip, _ = scheme.setup(column_length=2)
+        y = random_matrix(rng, 3, 2)
+        keys = scheme.derive_dot_keys(msk_ip, y)
+        bound = matrix_bound_dot(15, 15, 2)
+        with SecureComputePool(workers=2) as pool:
+            for cols in (1, 3, 5, 9):
+                x = random_matrix(rng, 2, cols)
+                enc = scheme.pre_process_encryption(x, with_febo=False)
+                out = pool.secure_dot(params, scheme.feip_mpk,
+                                      enc.require_feip(), keys, bound)
+                np.testing.assert_array_equal(out, y @ x)
 
 
 class TestParallelMatchesSerial:
