@@ -15,9 +15,18 @@ same entry point) and checks that both paths reach the *same* accuracy:
 decryption recovers exact integers, so the transport cannot change the
 floating-point trajectory.
 
-Run:  python examples/rpc_loopback.py
+With ``--chaos-rate > 0`` the training server's authority link is
+routed through a :class:`~repro.rpc.chaos.ChaosProxy` (hosted by the
+driver) that injects connection resets, stalls, truncations, header
+corruption and latency from the deterministic schedule seeded by
+``--chaos-seed`` -- and the accuracy comparison against the clean
+in-process run still holds, because the retry layer resends idempotent
+key requests until they land.
+
+Run:  python examples/rpc_loopback.py [--chaos-rate 0.2 --chaos-seed 7]
 """
 
+import argparse
 import multiprocessing
 import random
 import time
@@ -27,7 +36,15 @@ from repro.core import CryptoNNConfig, TrustedAuthority
 from repro.core.encdata import merge_encrypted_tabular
 from repro.core.entities import Client
 from repro.data import load_clinics, normalize_features, shared_feature_scale
-from repro.rpc import RpcEndpoint, free_port, run_training, wait_for_port
+from repro.rpc import (
+    ChaosConfig,
+    ChaosProxy,
+    RpcEndpoint,
+    ServiceThread,
+    free_port,
+    run_training,
+    wait_for_port,
+)
 from repro.rpc.messages import TrainStatusRequest
 
 N_CLIENTS = 2
@@ -40,7 +57,25 @@ LEARNING_RATE = 0.5
 SEED = 0
 
 
-def main() -> None:
+def parse_args(argv=None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        description="loopback multi-process CryptoNN demo")
+    parser.add_argument(
+        "--chaos-rate", type=float, default=0.0,
+        help="inject transport faults on the training server's "
+             "authority link at this total rate (spread evenly over "
+             "resets, stalls, truncations, header corruption and "
+             "latency); 0 disables the chaos proxy")
+    parser.add_argument(
+        "--chaos-seed", type=int, default=0,
+        help="seed for the deterministic fault schedule -- the same "
+             "seed and rate reproduce the same faults on the same "
+             "exchanges")
+    return parser.parse_args(argv)
+
+
+def main(argv=None) -> None:
+    args = parse_args(argv)
     ctx = multiprocessing.get_context("fork")
     auth_port, train_port = free_port(), free_port()
 
@@ -53,14 +88,31 @@ def main() -> None:
     authority_proc.start()
     wait_for_port("127.0.0.1", auth_port)
 
+    # optionally interpose the chaos proxy on the authority link: the
+    # training server dials the proxy, the proxy dials the authority
+    proxy_thread = None
+    proxy = None
+    server_auth_port = auth_port
+    if args.chaos_rate > 0:
+        proxy = ChaosProxy(
+            "127.0.0.1", auth_port, seed=args.chaos_seed,
+            config=ChaosConfig.uniform(args.chaos_rate, stall_s=2.0))
+        proxy_thread = ServiceThread(proxy)
+        _, server_auth_port = proxy_thread.start()
+        print(f"chaos proxy on the authority link: rate "
+              f"{args.chaos_rate:.0%}, seed {args.chaos_seed}")
+
     train_proc = ctx.Process(
         target=repro_cli,
         args=(["serve-train", "--port", str(train_port),
-               "--authority-port", str(auth_port),
+               "--authority-port", str(server_auth_port),
                "--expected-clients", str(N_CLIENTS),
                "--hidden", str(HIDDEN), "--epochs", str(EPOCHS),
                "--batch-size", str(BATCH_SIZE),
                "--learning-rate", str(LEARNING_RATE),
+               # stalls must convert into quick retried timeouts, not
+               # two-minute hangs
+               "--authority-timeout", "2.0",
                "--seed", str(SEED), "--stay"],),
         daemon=True)
     train_proc.start()
@@ -107,10 +159,20 @@ def main() -> None:
             f"{status.state if status else 'unreachable'} ({detail})")
     remote_accuracy = status.accuracy
     print(f"\ndistributed run (3+ processes): accuracy {remote_accuracy:.2%}")
+    if proxy is not None:
+        summary = proxy.fault_summary()
+        injected = summary["drops"] + summary["timeouts"] \
+            + summary["injected_delay"]
+        print(f"chaos weather: {injected} faults injected over "
+              f"{summary['exchanges']} exchanges "
+              f"({summary['drops']} drops, {summary['timeouts']} stalls, "
+              f"{summary['injected_delay']} delays)")
     train_proc.terminate()
     train_proc.join(timeout=10)
     authority_proc.terminate()
     authority_proc.join(timeout=10)
+    if proxy_thread is not None:
+        proxy_thread.stop()
 
     # -- identical run in one process: same seeds, same entry point ---------
     authority = TrustedAuthority(CryptoNNConfig(), rng=random.Random(SEED))

@@ -173,6 +173,7 @@ def cmd_serve_train(args: argparse.Namespace) -> int:
         checkpoint_path=args.checkpoint,
         checkpoint_every=args.checkpoint_every,
         resume=args.resume,
+        authority_timeout=args.authority_timeout,
     )
 
     async def _run() -> int:
@@ -211,7 +212,14 @@ def cmd_serve_train(args: argparse.Namespace) -> int:
 
 def cmd_client_upload(args: argparse.Namespace) -> int:
     """Encrypt one clinic shard locally and upload it over the wire."""
-    from repro.rpc import upload_shard
+    from repro.rpc import RetryPolicy, upload_shard
+
+    policy = None
+    if args.retry_attempts is not None:
+        if args.retry_attempts < 1:
+            raise SystemExit("--retry-attempts must be >= 1")
+        policy = RetryPolicy(max_attempts=args.retry_attempts,
+                             base_delay=0.05, max_delay=1.0)
 
     shards = load_clinics(n_clinics=args.clinics,
                           samples_per_clinic=args.samples,
@@ -229,10 +237,15 @@ def cmd_client_upload(args: argparse.Namespace) -> int:
         (args.server_host, args.server_port),
         normalize_features(shard.x, scale), shard.y, args.classes,
         name=name, rng=random.Random(args.seed + args.clinic),
-        workers=args.workers,
+        workers=args.workers, policy=policy,
     )
     print(f"{name}: uploaded {result['n_samples']} encrypted samples "
           f"({result['upload_bytes']:,} bytes); server ack {result['ack']}")
+    retry = result["retry"]
+    if retry.get("retries") or retry.get("reconnects"):
+        print(f"  transport weather: {retry['retries']} retries, "
+              f"{retry['drops']} drops, {retry['timeouts']} timeouts, "
+              f"{retry['reconnects']} reconnects")
     return 0
 
 
@@ -355,6 +368,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="pick an interrupted job up from --checkpoint "
                         "after process death (no re-uploads needed); "
                         "waits for uploads as usual if no job is on disk")
+    p.add_argument("--authority-timeout", type=float, default=120.0,
+                   help="per-request timeout (s) on the authority link; "
+                        "lower it on flaky networks so stalls convert "
+                        "into retried timeouts quickly")
     p.set_defaults(func=cmd_serve_train)
 
     p = sub.add_parser("client-upload",
@@ -375,6 +392,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="parallelize local encryption over this many "
                         "worker processes (offline/online nonce split); "
                         "omit for serial encryption")
+    p.add_argument("--retry-attempts", type=int,
+                   help="total tries per request (default 4) under the "
+                        "jittered exponential-backoff retry policy")
     p.set_defaults(func=cmd_client_upload)
 
     return parser

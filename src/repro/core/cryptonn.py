@@ -19,6 +19,7 @@ framework's central design point.
 
 from __future__ import annotations
 
+import contextlib
 import pathlib
 from typing import Callable
 
@@ -200,61 +201,92 @@ class _SecureTrainerBase:
                 on_checkpoint(ckpt)
 
         capped = False
-        for epoch in range(start_epoch, epochs):
-            if max_batches is not None and batch_counter >= max_batches:
-                # cap already reached: do NOT draw this epoch's shuffle
-                # (it would silently perturb the resume-critical stream)
-                break
-            if resume_order is not None:
-                # mid-epoch resume: replay the checkpointed permutation
-                order = resume_order
-                batch_in_epoch = resume_batch
-                # the partial epoch's running stats are the tail of the
-                # restored history, so the eventual epoch mean is exact
-                epoch_losses = list(
-                    history.batch_loss[len(history.batch_loss)
-                                       - resume_batch:])
-                epoch_accs = list(
-                    history.batch_accuracy[len(history.batch_accuracy)
-                                           - resume_batch:])
-                resume_order = None
-                resume_batch = 0
-            else:
-                order = shuffled_order(len(dataset), rng, shuffle)
-                batch_in_epoch = 0
-                epoch_losses = []
-                epoch_accs = []
-            for start in range(batch_in_epoch * batch_size, len(order),
-                               batch_size):
+        # these three name the trainer's position for the failure
+        # snapshot below; train_batch mutates parameters only in its
+        # final statement (optimizer.step), so at any exception the
+        # model/optimizer state is exactly the last completed batch
+        # boundary
+        epoch = start_epoch
+        batch_in_epoch = resume_batch
+        order = resume_order
+        try:
+            for epoch in range(start_epoch, epochs):
                 if max_batches is not None and batch_counter >= max_batches:
-                    capped = True
+                    # cap already reached: do NOT draw this epoch's
+                    # shuffle (it would silently perturb the
+                    # resume-critical stream)
                     break
-                indices = order[start:start + batch_size]
-                loss_value, out = self.train_batch(dataset, indices, optimizer)
-                if dataset.eval_labels is not None:
-                    batch_acc = accuracy(out, dataset.eval_labels[indices])
+                if resume_order is not None:
+                    # mid-epoch resume: replay the checkpointed
+                    # permutation
+                    order = resume_order
+                    batch_in_epoch = resume_batch
+                    # the partial epoch's running stats are the tail of
+                    # the restored history, so the eventual epoch mean
+                    # is exact
+                    epoch_losses = list(
+                        history.batch_loss[len(history.batch_loss)
+                                           - resume_batch:])
+                    epoch_accs = list(
+                        history.batch_accuracy[len(history.batch_accuracy)
+                                               - resume_batch:])
+                    resume_order = None
+                    resume_batch = 0
                 else:
-                    batch_acc = float("nan")
-                history.batch_loss.append(loss_value)
-                history.batch_accuracy.append(batch_acc)
-                epoch_losses.append(loss_value)
-                epoch_accs.append(batch_acc)
-                if on_batch is not None:
-                    on_batch(batch_counter, loss_value, batch_acc)
-                batch_counter += 1
-                batch_in_epoch += 1
-                if checkpoint_path is not None and (
-                        (checkpoint_every is not None
-                         and batch_counter % checkpoint_every == 0)
-                        or (checkpoint_trigger is not None
-                            and checkpoint_trigger())):
+                    order = shuffled_order(len(dataset), rng, shuffle)
+                    batch_in_epoch = 0
+                    epoch_losses = []
+                    epoch_accs = []
+                for start in range(batch_in_epoch * batch_size, len(order),
+                                   batch_size):
+                    if max_batches is not None \
+                            and batch_counter >= max_batches:
+                        capped = True
+                        break
+                    indices = order[start:start + batch_size]
+                    loss_value, out = self.train_batch(dataset, indices,
+                                                       optimizer)
+                    if dataset.eval_labels is not None:
+                        batch_acc = accuracy(out,
+                                             dataset.eval_labels[indices])
+                    else:
+                        batch_acc = float("nan")
+                    history.batch_loss.append(loss_value)
+                    history.batch_accuracy.append(batch_acc)
+                    epoch_losses.append(loss_value)
+                    epoch_accs.append(batch_acc)
+                    # commit the counters before invoking the callback:
+                    # the weights already include this batch's update, so
+                    # a checkpoint written from a callback (or from the
+                    # crash handler below, if the callback raises) must
+                    # point at the *next* batch or resume double-applies
+                    # this one
+                    batch_counter += 1
+                    batch_in_epoch += 1
+                    if on_batch is not None:
+                        on_batch(batch_counter - 1, loss_value, batch_acc)
+                    if checkpoint_path is not None and (
+                            (checkpoint_every is not None
+                             and batch_counter % checkpoint_every == 0)
+                            or (checkpoint_trigger is not None
+                                and checkpoint_trigger())):
+                        write_checkpoint(epoch, batch_in_epoch, order)
+                if capped:
+                    # partial epoch: no epoch mean, no residual epochs
+                    break
+                if epoch_losses:
+                    history.epoch_loss.append(float(np.mean(epoch_losses)))
+                    history.epoch_accuracy.append(float(np.mean(epoch_accs)))
+        except BaseException:
+            # best-effort checkpoint-on-failure: a transport outage, a
+            # dead pool or a kill signal mid-run leaves a resumable
+            # snapshot of the last completed batch instead of only
+            # whatever the periodic cadence last wrote -- and must never
+            # mask the original error
+            if checkpoint_path is not None:
+                with contextlib.suppress(Exception):
                     write_checkpoint(epoch, batch_in_epoch, order)
-            if capped:
-                # partial epoch: no epoch mean, and no residual epochs
-                break
-            if epoch_losses:
-                history.epoch_loss.append(float(np.mean(epoch_losses)))
-                history.epoch_accuracy.append(float(np.mean(epoch_accs)))
+            raise
         if checkpoint_path is not None:
             write_checkpoint(epochs, 0, None, completed=True)
         return history

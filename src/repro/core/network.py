@@ -10,6 +10,14 @@ training-time estimates, and exercise retry logic.
 
 Nothing here transports real bytes -- it wraps the in-process calls the
 entities already make and advances a simulated clock.
+
+The channel speaks the same retry vocabulary as the real-socket runtime
+(:mod:`repro.rpc.retry`): pass a :class:`~repro.rpc.retry.RetryPolicy`
+to govern attempts and to charge its (deterministic or jittered) backoff
+to the simulated clock, and read :attr:`SimulatedChannel.stats` in the
+shared ``attempts/retries/drops/giveups`` counter names -- so simulated
+what-if numbers and chaos-proxy numbers compose into one report via
+:func:`~repro.rpc.retry.merge_stats`.
 """
 
 from __future__ import annotations
@@ -17,6 +25,8 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 from typing import Callable, TypeVar
+
+from repro.rpc.retry import STAT_KEYS, RetryPolicy
 
 T = TypeVar("T")
 
@@ -54,35 +64,70 @@ class SimulatedChannel:
     Args:
         latency: latency model applied per attempt.
         drop_probability: chance each attempt is lost.
-        max_retries: resend attempts before :class:`ChannelError`.
+        max_retries: resend attempts before :class:`ChannelError`
+            (ignored when ``policy`` is set).
         rng: deterministic randomness source.
+        policy: optional :class:`~repro.rpc.retry.RetryPolicy`; when
+            set, it bounds the attempts (``max_attempts``) and its
+            backoff schedule is charged to the simulated clock between
+            attempts -- the same policy object an
+            :class:`~repro.rpc.client.RpcEndpoint` would use against a
+            real socket.
     """
 
     latency: LatencyModel = field(default_factory=LatencyModel)
     drop_probability: float = 0.0
     max_retries: int = 3
     rng: random.Random = field(default_factory=random.Random)
+    policy: RetryPolicy | None = None
 
     clock_s: float = 0.0
     messages_sent: int = 0
     messages_dropped: int = 0
+    retries: int = 0
+    giveups: int = 0
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.drop_probability < 1.0:
             raise ValueError("drop_probability must be in [0, 1)")
+        if self.policy is not None:
+            self.max_retries = self.policy.max_attempts - 1
+
+    @property
+    def stats(self) -> dict[str, int]:
+        """Counters in the runtime's shared retry vocabulary
+        (:data:`~repro.rpc.retry.STAT_KEYS`) -- composable with real
+        endpoint stats via :func:`~repro.rpc.retry.merge_stats`."""
+        values = {
+            "attempts": self.messages_sent,
+            "retries": self.retries,
+            "drops": self.messages_dropped,
+            "timeouts": 0,
+            "reconnects": 0,
+            "giveups": self.giveups,
+        }
+        return {key: values[key] for key in STAT_KEYS}
 
     def send(self, n_bytes: int, deliver: Callable[[], T]) -> T:
         """Deliver a message of ``n_bytes``, retrying on simulated loss.
 
         ``deliver`` is the in-process call standing in for the receiver's
-        handler; it runs exactly once, after a successful attempt.
+        handler; it runs exactly once, after a successful attempt.  With
+        a ``policy`` set, each resend also advances the simulated clock
+        by the policy's backoff -- so what-if latency estimates include
+        the time a real endpoint would have spent backing off.
         """
         for attempt in range(self.max_retries + 1):
+            if attempt > 0:
+                self.retries += 1
+                if self.policy is not None:
+                    self.clock_s += self.policy.backoff(attempt, self.rng)
             self.messages_sent += 1
             self.clock_s += self.latency.sample(self.rng, n_bytes)
             if self.rng.random() >= self.drop_probability:
                 return deliver()
             self.messages_dropped += 1
+        self.giveups += 1
         raise ChannelError(
             f"message lost {self.max_retries + 1} times "
             f"(drop_probability={self.drop_probability})"

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import atexit
 import itertools
+import multiprocessing
 import os
 import pickle
 import threading
@@ -109,6 +110,13 @@ def _install_config(config: tuple) -> dict:
     outlives reconfigurations that keep the same (group, bound) -- the
     per-iteration case in training.
     """
+    if os.environ.get("REPRO_CHAOS_WORKER_KILL") \
+            and multiprocessing.parent_process() is not None:
+        # chaos hook for the degradation tests: every *forked worker*
+        # dies on first use (deterministically -- no racing kill
+        # thread), while the parent-process fallback path, which also
+        # runs this function, computes normally
+        os._exit(3)
     seq, kind, blob = config
     state = _WORKER_CONFIGS.get(seq)
     if state is not None:
@@ -217,10 +225,20 @@ class SecureComputePool:
 
     _seq = itertools.count(1)
 
-    def __init__(self, workers: int | None = None):
+    def __init__(self, workers: int | None = None, *,
+                 crash_retries: int = 2, allow_degraded: bool = True):
         if workers is not None and workers < 1:
             raise ValueError("workers must be >= 1")
+        if crash_retries < 0:
+            raise ValueError("crash_retries must be >= 0")
         self.workers = workers or default_workers()
+        #: per-dispatch budget of executor rebuilds after worker crashes
+        #: before the dispatch falls back (or raises)
+        self.crash_retries = crash_retries
+        #: when True, a dispatch that exhausts its crash budget runs
+        #: sequentially in-process instead of raising -- training slows
+        #: down but completes (graceful degradation)
+        self.allow_degraded = allow_degraded
         self._executor: ProcessPoolExecutor | None = None
         # (kind, payload) -> stamped config -- training alternates dot,
         # elementwise and encrypt dispatches (and a client may juggle
@@ -233,6 +251,23 @@ class SecureComputePool:
         #: test and the ablation bench).
         self.executors_created = 0
         self.dispatches = 0
+        #: executor rebuilds forced by worker crashes (BrokenProcessPool)
+        self.worker_restarts = 0
+        #: dispatches that completed on the sequential in-process fallback
+        self.degraded_dispatches = 0
+        #: latched True by the first degraded dispatch
+        self.degraded = False
+
+    @property
+    def stats(self) -> dict[str, int | bool]:
+        """Fault counters for the ops surface (train-status, reports)."""
+        return {
+            "dispatches": self.dispatches,
+            "executors_created": self.executors_created,
+            "worker_restarts": self.worker_restarts,
+            "degraded_dispatches": self.degraded_dispatches,
+            "degraded": self.degraded,
+        }
 
     # -- lifecycle -----------------------------------------------------------
     @property
@@ -299,7 +334,7 @@ class SecureComputePool:
 
     def _map(self, fn, config: tuple, tasks, parallelism_hint: int,
              n_tasks: int | None = None, chunksize: int | None = None) -> list:
-        """Dispatch ``tasks`` under ``config``, surviving one worker crash.
+        """Dispatch ``tasks`` under ``config``, surviving worker crashes.
 
         ``tasks`` is either a sequence or a zero-argument callable
         returning a fresh iterable.  The callable form *streams*:
@@ -310,8 +345,14 @@ class SecureComputePool:
 
         A crashed worker breaks the whole executor; unlike the old
         executor-per-call code that recovered for free, a persistent
-        pool must rebuild explicitly, so the dispatch is retried once on
-        a fresh executor before the error propagates.
+        pool must rebuild explicitly, so the dispatch is retried on a
+        fresh executor up to ``crash_retries`` times.  A pool that keeps
+        breaking (a machine swapping its workers to death, a chaos test)
+        then *degrades* instead of raising: with ``allow_degraded`` the
+        dispatch runs sequentially in this process -- the task functions
+        are plain picklable callables, so the numerics are identical,
+        just slower -- and the degradation is counted and latched in
+        ``stats``.
         """
         if callable(tasks):
             factory = tasks
@@ -328,20 +369,28 @@ class SecureComputePool:
             chunksize = max(1, n_tasks // (self.workers * parallelism_hint))
         self.dispatches += 1
         bound_fn = partial(fn, config)
-        executor = self._ensure_executor()
-        try:
-            return list(executor.map(bound_fn, factory(),
-                                     chunksize=chunksize))
-        except BrokenProcessPool:
-            with self._lock:
-                # replace only the executor that failed: a concurrent
-                # dispatch may already have rebuilt it, and shutting the
-                # replacement down would break that dispatch's retry
-                if self._executor is executor:
-                    executor.shutdown(wait=False)
-                    self._executor = None
-            return list(self._ensure_executor().map(bound_fn, factory(),
-                                                    chunksize=chunksize))
+        last_exc: BrokenProcessPool | None = None
+        for _ in range(self.crash_retries + 1):
+            executor = self._ensure_executor()
+            try:
+                return list(executor.map(bound_fn, factory(),
+                                         chunksize=chunksize))
+            except BrokenProcessPool as exc:
+                last_exc = exc
+                with self._lock:
+                    # replace only the executor that failed: a
+                    # concurrent dispatch may already have rebuilt it,
+                    # and shutting the replacement down would break that
+                    # dispatch's retry
+                    if self._executor is executor:
+                        executor.shutdown(wait=False)
+                        self._executor = None
+                        self.worker_restarts += 1
+        if not self.allow_degraded:
+            raise last_exc
+        self.degraded_dispatches += 1
+        self.degraded = True
+        return [bound_fn(task) for task in factory()]
 
     # -- secure computations ---------------------------------------------------
     def secure_dot(self, params: GroupParams, mpk: FeipPublicKey,

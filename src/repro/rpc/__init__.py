@@ -23,9 +23,16 @@ bytes between actual processes:
 Per-iteration key requests are batched into one framed envelope by
 default (``CryptoNNConfig.batch_key_requests``), collapsing the
 k x n x |w| request fan-out into a single round trip.
+
+Fault tolerance lives in two sibling modules: :mod:`repro.rpc.retry`
+(the runtime-wide :class:`RetryPolicy` / :class:`RetryStats`
+vocabulary) and :mod:`repro.rpc.chaos` (the deterministic
+fault-injecting :class:`ChaosProxy` the test suite and the loopback
+example run training through).
 """
 
 from repro.rpc.authority_service import AuthorityService, run_authority_service
+from repro.rpc.chaos import ChaosConfig, ChaosProxy, ChaosSchedule
 from repro.rpc.client import (
     RemoteAuthority,
     RpcEndpoint,
@@ -40,6 +47,15 @@ from repro.rpc.client_agent import (
 )
 from repro.rpc.framing import MAX_FRAME_BYTES, FrameError
 from repro.rpc.messages import WireContext
+from repro.rpc.retry import (
+    DEFAULT_POLICY,
+    SERVICE_POLICY,
+    STAT_KEYS,
+    RetryPolicy,
+    RetryStats,
+    call_with_retry,
+    merge_stats,
+)
 from repro.rpc.runtime import ServiceThread, free_port, wait_for_port
 from repro.rpc.training_service import (
     TrainingService,
@@ -49,6 +65,16 @@ from repro.rpc.training_service import (
 
 __all__ = [
     "AuthorityService",
+    "ChaosConfig",
+    "ChaosProxy",
+    "ChaosSchedule",
+    "DEFAULT_POLICY",
+    "SERVICE_POLICY",
+    "STAT_KEYS",
+    "RetryPolicy",
+    "RetryStats",
+    "call_with_retry",
+    "merge_stats",
     "FrameError",
     "MAX_FRAME_BYTES",
     "RemoteAuthority",

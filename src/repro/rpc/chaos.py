@@ -1,0 +1,305 @@
+"""Deterministic fault injection over real sockets.
+
+:class:`ChaosProxy` is an asyncio TCP proxy that sits between any RPC
+client and service and injects transport faults from a *seeded
+schedule*: the fault decision for exchange ``k`` is a pure function of
+``(seed, k)``, so every test scenario -- and every
+``examples/rpc_loopback.py --chaos-seed`` run -- is reproducible.
+
+The proxy understands the length-prefixed framing just enough to
+delimit request/response exchanges (it never decodes bodies), which is
+what makes per-exchange fault decisions possible:
+
+* ``reset-before`` -- connection reset before the request frame reaches
+  the service (the service never sees it);
+* ``reset-after``  -- the service processes the request, but the
+  response is dropped and the connection reset (tests idempotency of
+  the retried request);
+* ``stall``        -- the request is blackholed and the connection held
+  open silently until the client times out and hangs up;
+* ``truncate``     -- the response frame is cut mid-body, then reset;
+* ``corrupt``      -- response header bytes are flipped so the framing
+  layer rejects the frame (``FrameError``) and the client retries.
+  Corruption targets the *header*: the body is length-delimited binary
+  with no checksum, so only header corruption is reliably detected --
+  the chaos layer injects what the framing layer can catch;
+* ``delay``        -- added latency before the response.
+
+Every fault is visible to the client as a transport error (reset, frame
+error, or timeout), which the :class:`~repro.rpc.retry.RetryPolicy`
+machinery retries; key derivation is deterministic and idempotent, so a
+training run through heavy chaos reproduces the clean run's weights and
+loss curve byte-for-byte (the chaos test suite pins this).
+
+With concurrent client connections the *assignment* of exchange indices
+to connections follows socket timing, but the fault sequence itself is
+still the seeded one; the strictly sequential training loop -- the case
+the acceptance tests script -- is fully deterministic.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import random
+import struct
+import threading
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.rpc.framing import MAX_FRAME_BYTES, FrameError
+
+_LEN = struct.Struct(">I")
+
+#: Fault kinds in schedule-draw order (the order matters: one uniform
+#: draw per exchange walks this list's cumulative rates).
+FAULT_KINDS = ("reset-before", "reset-after", "stall", "truncate",
+               "corrupt", "delay")
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Per-fault injection rates plus fault shaping knobs.
+
+    Rates are independent probabilities that must sum to <= 1; the
+    remainder is the clean-exchange probability.  ``delay_s`` is the
+    added latency of a ``delay`` fault; ``stall_s`` caps how long a
+    ``stall`` holds the connection if the client never hangs up (a
+    correctly configured client times out first).
+    """
+
+    reset_before: float = 0.0
+    reset_after: float = 0.0
+    stall: float = 0.0
+    truncate: float = 0.0
+    corrupt: float = 0.0
+    delay: float = 0.0
+    delay_s: float = 0.05
+    stall_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        total = 0.0
+        for kind in FAULT_KINDS:
+            rate = getattr(self, kind.replace("-", "_"))
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"rate {kind} must be in [0, 1]")
+            total += rate
+        if total > 1.0:
+            raise ValueError(f"fault rates sum to {total} > 1")
+
+    @classmethod
+    def uniform(cls, rate: float, **kwargs) -> "ChaosConfig":
+        """Spread ``rate`` evenly across every fault kind."""
+        per = rate / len(FAULT_KINDS)
+        return cls(**{kind.replace("-", "_"): per for kind in FAULT_KINDS},
+                   **kwargs)
+
+
+class ChaosSchedule:
+    """Deterministic fault schedule: exchange index -> fault (or None).
+
+    Decisions are the draws of one seeded RNG consumed in exchange
+    order, memoized so ``fault_for(k)`` is a stable pure function for
+    the schedule's lifetime -- ask twice, get the same answer.
+    """
+
+    def __init__(self, seed: int, config: ChaosConfig):
+        self.seed = seed
+        self.config = config
+        self._rng = random.Random(seed)
+        self._decisions: list[str | None] = []
+        self._lock = threading.Lock()
+
+    def _draw(self) -> str | None:
+        roll = self._rng.random()
+        cumulative = 0.0
+        for kind in FAULT_KINDS:
+            cumulative += getattr(self.config, kind.replace("-", "_"))
+            if roll < cumulative:
+                return kind
+        return None
+
+    def fault_for(self, index: int) -> str | None:
+        with self._lock:
+            while len(self._decisions) <= index:
+                self._decisions.append(self._draw())
+            return self._decisions[index]
+
+    def preview(self, count: int) -> list[str | None]:
+        """The first ``count`` decisions (for test assertions)."""
+        return [self.fault_for(i) for i in range(count)]
+
+
+class ChaosProxy:
+    """Seeded fault-injecting TCP proxy for one upstream service.
+
+    Exposes the same ``async start() -> (host, port)`` / ``async
+    stop()`` lifecycle as the RPC services, so
+    :class:`~repro.rpc.runtime.ServiceThread` can host it and tests and
+    examples stand it up exactly like a real service.  ``stats`` counts
+    connections, exchanges and injected faults by kind.
+    """
+
+    def __init__(self, upstream_host: str, upstream_port: int, *,
+                 host: str = "127.0.0.1", port: int = 0,
+                 schedule: ChaosSchedule | None = None,
+                 seed: int = 0, config: ChaosConfig | None = None,
+                 max_frame_bytes: int = MAX_FRAME_BYTES):
+        self.upstream = (upstream_host, upstream_port)
+        self.host = host
+        self.port = port
+        self.schedule = schedule if schedule is not None else \
+            ChaosSchedule(seed, config if config is not None else ChaosConfig())
+        self.max_frame_bytes = max_frame_bytes
+        self.address: tuple[str, int] | None = None
+        self.stats: Counter = Counter()
+        self._server: asyncio.AbstractServer | None = None
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._exchange_counter = 0
+        self._counter_lock = threading.Lock()
+
+    # -- lifecycle -----------------------------------------------------------
+    async def start(self) -> tuple[str, int]:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port)
+        sockname = self._server.sockets[0].getsockname()
+        self.address = (sockname[0], sockname[1])
+        return self.address
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        self._conn_tasks.clear()
+
+    def _next_exchange(self) -> int:
+        with self._counter_lock:
+            index = self._exchange_counter
+            self._exchange_counter += 1
+            return index
+
+    # -- raw framing ---------------------------------------------------------
+    async def _read_raw_frame(self, reader: asyncio.StreamReader
+                              ) -> bytes | None:
+        """One wire frame as raw bytes (length prefix included)."""
+        try:
+            prefix = await reader.readexactly(4)
+        except asyncio.IncompleteReadError as exc:
+            if not exc.partial:
+                return None
+            raise FrameError("connection closed mid frame-length") from exc
+        total = _LEN.unpack(prefix)[0]
+        if total < 4 or total > self.max_frame_bytes:
+            raise FrameError(f"frame length {total} outside proxy bounds")
+        try:
+            payload = await reader.readexactly(total)
+        except asyncio.IncompleteReadError as exc:
+            raise FrameError("connection closed mid frame") from exc
+        return prefix + payload
+
+    @staticmethod
+    def _corrupt_header(frame: bytes) -> bytes:
+        """Flip bytes inside the JSON header so decoding must fail.
+
+        The flipped bytes are invalid UTF-8, so the receiving framing
+        layer raises ``FrameError`` deterministically instead of
+        silently delivering a corrupted payload.
+        """
+        header_len = _LEN.unpack(frame[4:8])[0]
+        start = 8
+        end = min(start + max(1, header_len), len(frame))
+        return frame[:start] + b"\xff" * (end - start) + frame[end:]
+
+    # -- per-connection pump -------------------------------------------------
+    async def _handle_connection(self, client_reader: asyncio.StreamReader,
+                                 client_writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        self.stats["connections"] += 1
+        upstream_reader = upstream_writer = None
+        try:
+            upstream_reader, upstream_writer = await asyncio.open_connection(
+                *self.upstream)
+            await self._pump(client_reader, client_writer,
+                             upstream_reader, upstream_writer)
+        except (FrameError, ConnectionError, OSError):
+            pass  # either side broke; drop both, keep listening
+        except asyncio.CancelledError:
+            pass
+        finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
+            for writer in (client_writer, upstream_writer):
+                if writer is None:
+                    continue
+                with contextlib.suppress(Exception):
+                    writer.close()
+                with contextlib.suppress(BaseException):
+                    await writer.wait_closed()
+
+    async def _pump(self, client_reader, client_writer,
+                    upstream_reader, upstream_writer) -> None:
+        config = self.schedule.config
+        while True:
+            request = await self._read_raw_frame(client_reader)
+            if request is None:
+                return
+            fault = self.schedule.fault_for(self._next_exchange())
+            self.stats["exchanges"] += 1
+            if fault is not None:
+                self.stats[fault] += 1
+
+            if fault == "reset-before":
+                # the service never sees this request
+                return
+            if fault == "stall":
+                # blackhole: hold the connection silently until the
+                # client gives up (its timeout) or the stall cap passes
+                with contextlib.suppress(asyncio.TimeoutError,
+                                         ConnectionError):
+                    await asyncio.wait_for(client_reader.read(1),
+                                           timeout=config.stall_s)
+                return
+            upstream_writer.write(request)
+            await upstream_writer.drain()
+            response = await self._read_raw_frame(upstream_reader)
+            if response is None:
+                return
+            if fault == "reset-after":
+                # the service answered; the client never hears it
+                return
+            if fault == "truncate":
+                cut = max(5, len(response) // 2)
+                client_writer.write(response[:cut])
+                with contextlib.suppress(ConnectionError):
+                    await client_writer.drain()
+                return
+            if fault == "corrupt":
+                client_writer.write(self._corrupt_header(response))
+                with contextlib.suppress(ConnectionError):
+                    await client_writer.drain()
+                # the client will detect the bad frame and hang up
+                continue
+            if fault == "delay":
+                await asyncio.sleep(config.delay_s)
+            client_writer.write(response)
+            await client_writer.drain()
+
+    def fault_summary(self) -> dict[str, int]:
+        """Counters in the shared fault-report vocabulary plus per-kind
+        injection counts (composes with RetryStats snapshots)."""
+        summary = {f"injected_{kind}": self.stats.get(kind, 0)
+                   for kind in FAULT_KINDS}
+        summary["exchanges"] = self.stats.get("exchanges", 0)
+        summary["connections"] = self.stats.get("connections", 0)
+        summary["drops"] = sum(
+            self.stats.get(kind, 0)
+            for kind in ("reset-before", "reset-after", "truncate", "corrupt"))
+        summary["timeouts"] = self.stats.get("stall", 0)
+        return summary

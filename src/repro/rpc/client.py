@@ -43,6 +43,7 @@ from repro.rpc.messages import (
     decode_message,
     encode_message,
 )
+from repro.rpc.retry import RetryPolicy, RetryStats
 
 
 class RpcError(Exception):
@@ -76,7 +77,8 @@ class RpcEndpoint:
 
     def __init__(self, host: str, port: int, *, name: str = protocol.CLIENT,
                  peer: str = "service", timeout: float = 60.0,
-                 connect_timeout: float = 10.0, retries: int = 1,
+                 connect_timeout: float = 10.0, retries: int | None = None,
+                 policy: RetryPolicy | None = None,
                  traffic: TrafficLog | None = None,
                  max_frame_bytes: int = MAX_FRAME_BYTES):
         self.host = host
@@ -85,15 +87,28 @@ class RpcEndpoint:
         self.peer = peer
         self.timeout = timeout
         self.connect_timeout = connect_timeout
-        self.retries = retries
+        if policy is None:
+            # legacy knob: ``retries`` resends with backoff under the
+            # default policy shape (base 50ms, full jitter, 1s cap)
+            attempts = (retries + 1) if retries is not None else 2
+            policy = RetryPolicy(max_attempts=attempts, base_delay=0.05,
+                                 max_delay=1.0)
+        elif retries is not None:
+            raise ValueError("pass either retries or policy, not both")
+        self.policy = policy
+        self.retries = policy.max_attempts - 1
+        #: fault/retry counters in the runtime-wide shared vocabulary
+        self.stats = RetryStats()
         self.traffic = traffic if traffic is not None else TrafficLog()
         self.max_frame_bytes = max_frame_bytes
         self._lock = threading.Lock()
+        self._retry_rng = random.Random()
         self._loop: asyncio.AbstractEventLoop | None = None
         self._thread: threading.Thread | None = None
         self._reader: asyncio.StreamReader | None = None
         self._writer: asyncio.StreamWriter | None = None
         self._seq = 0
+        self._connects = 0
         self._closed = False
 
     # -- event-loop plumbing -------------------------------------------------
@@ -146,17 +161,33 @@ class RpcEndpoint:
     def connected(self) -> bool:
         return self._writer is not None
 
+    def _interruptible_sleep(self, seconds: float) -> None:
+        """Backoff sleep that wakes promptly on a concurrent close()."""
+        deadline = time.monotonic() + seconds
+        while not self._closed:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return
+            time.sleep(min(0.05, remaining))
+
     def connect(self) -> None:
-        """Connect, retrying until ``connect_timeout`` (the service may
-        still be binding its socket when a client process starts)."""
+        """Connect under the retry policy's backoff, bounded by
+        ``connect_timeout`` (the service may still be binding its socket
+        when a client process starts -- or be restarting mid-run)."""
         if self._closed:
             raise RpcError(
                 f"endpoint to {self.peer} at {self.host}:{self.port} "
                 f"is closed")
         if self.connected:
             return
-        deadline = time.monotonic() + self.connect_timeout
-        while True:
+        connect_policy = RetryPolicy(
+            max_attempts=1_000_000, base_delay=self.policy.base_delay,
+            max_delay=min(self.policy.max_delay, 0.5),
+            multiplier=self.policy.multiplier, jitter=self.policy.jitter,
+            deadline=self.connect_timeout)
+        last_exc: Exception | None = None
+        for _ in connect_policy.attempts(rng=self._retry_rng,
+                                         sleep=self._interruptible_sleep):
             if self._closed:  # closed by another thread mid-retry
                 raise RpcError(
                     f"endpoint to {self.peer} at {self.host}:{self.port} "
@@ -165,13 +196,15 @@ class RpcEndpoint:
                 self._reader, self._writer = self._run(
                     asyncio.open_connection(self.host, self.port),
                     self.connect_timeout)
+                self._connects += 1
+                if self._connects > 1:
+                    self.stats.reconnects += 1
                 return
             except (ConnectionError, OSError) as exc:
-                if time.monotonic() >= deadline:
-                    raise RpcError(
-                        f"cannot reach {self.peer} at "
-                        f"{self.host}:{self.port}: {exc}") from exc
-                time.sleep(0.05)
+                last_exc = exc
+        raise RpcError(
+            f"cannot reach {self.peer} at "
+            f"{self.host}:{self.port}: {last_exc}") from last_exc
 
     def _drop_connection(self) -> None:
         writer, self._reader, self._writer = self._writer, None, None
@@ -225,7 +258,16 @@ class RpcEndpoint:
         return frame
 
     def request(self, msg, ctx: WireContext | None = None):
-        """Send one message, return the decoded response (blocking)."""
+        """Send one message, return the decoded response (blocking).
+
+        Transport failures (resets, frame errors, per-attempt timeouts)
+        reconnect and resend under the endpoint's
+        :class:`~repro.rpc.retry.RetryPolicy` -- exponential backoff
+        with full jitter between attempts, never a zero-sleep reconnect
+        spin.  ``_closed`` is re-checked before every attempt (and the
+        backoff sleep wakes on it), so a concurrent ``close()`` fails
+        the request fast instead of letting it reconnect and resend.
+        """
         with self._lock:
             if self._closed:
                 raise RpcError(
@@ -239,15 +281,35 @@ class RpcEndpoint:
             # instead of burning retries on receiver-side drops
             frame_bytes = encode_frame(header, body, self.max_frame_bytes)
             last_exc: Exception | None = None
-            for _ in range(self.retries + 1):
+            start = time.monotonic()
+            attempts_made = 0
+            for attempt in self.policy.attempts(
+                    rng=self._retry_rng, sleep=self._interruptible_sleep):
+                if self._closed:
+                    # a concurrent close() mid-retry must not let the
+                    # loop reconnect and resend
+                    raise RpcError(
+                        f"endpoint to {self.peer} at "
+                        f"{self.host}:{self.port} was closed mid-request")
+                attempts_made = attempt
+                self.stats.attempts += 1
+                if attempt > 1:
+                    self.stats.retries += 1
+                timeout = self.policy.attempt_timeout_for(
+                    start, default=self.timeout)
                 try:
                     if not self.connected:
                         self.connect()
                     resp_header, resp_body = self._run(
-                        self._send_recv(frame_bytes), self.timeout)
-                except (ConnectionError, OSError, FrameError,
-                        RpcTimeoutError) as exc:
+                        self._send_recv(frame_bytes), timeout)
+                except RpcTimeoutError as exc:
                     self._drop_connection()
+                    self.stats.timeouts += 1
+                    last_exc = exc
+                    continue
+                except (ConnectionError, OSError, FrameError) as exc:
+                    self._drop_connection()
+                    self.stats.drops += 1
                     last_exc = exc
                     continue
                 self.traffic.record(self.name, self.peer, header["kind"],
@@ -265,10 +327,11 @@ class RpcEndpoint:
                         f"(sent {header['seq']}, "
                         f"got {resp_header.get('seq')})")
                 return resp
+            self.stats.giveups += 1
             raise RpcError(
                 f"request {header['kind']!r} to {self.peer} at "
                 f"{self.host}:{self.port} failed after "
-                f"{self.retries + 1} attempts: {last_exc}") from last_exc
+                f"{attempts_made} attempts: {last_exc}") from last_exc
 
 
 class RemoteAuthority:
@@ -283,10 +346,13 @@ class RemoteAuthority:
 
     def __init__(self, host: str, port: int, *, name: str = protocol.SERVER,
                  rng: random.Random | None = None, timeout: float = 120.0,
-                 connect_timeout: float = 10.0, retries: int = 1):
+                 connect_timeout: float = 10.0, retries: int | None = None,
+                 policy: RetryPolicy | None = None):
+        if policy is None and retries is None:
+            retries = 1
         self.endpoint = RpcEndpoint(
             host, port, name=name, peer=protocol.AUTHORITY, timeout=timeout,
-            connect_timeout=connect_timeout, retries=retries)
+            connect_timeout=connect_timeout, retries=retries, policy=policy)
         self.name = name
         try:
             resp = self.endpoint.request(PublicParamsRequest(

@@ -25,6 +25,7 @@ from repro.rpc.messages import (
     TrainCheckpointRequest,
     TrainStatusRequest,
 )
+from repro.rpc.retry import DEFAULT_POLICY, RetryPolicy, merge_stats
 
 
 def upload_shard(authority_address: tuple[str, int],
@@ -34,7 +35,8 @@ def upload_shard(authority_address: tuple[str, int],
                  label_mapper: LabelMapper | None = None,
                  rng: random.Random | None = None,
                  workers: int | None = None,
-                 timeout: float = 120.0) -> dict:
+                 timeout: float = 120.0,
+                 policy: RetryPolicy | None = None) -> dict:
     """Encrypt one shard and deliver it to the training server.
 
     ``workers`` parallelizes the local encryption the same way the
@@ -44,16 +46,24 @@ def upload_shard(authority_address: tuple[str, int],
     before the encryption loop runs online-only.  Plaintext still never
     leaves the process; worker processes never touch sockets.
 
-    Returns a summary with the server's acknowledgement and the byte
-    count that crossed each connection.
+    ``policy`` governs retry/backoff on both connections (authority and
+    server); it defaults to :data:`~repro.rpc.retry.DEFAULT_POLICY`.
+    Re-uploading after a transport failure is safe -- the server keys
+    shards by client name, so a resent upload overwrites, not appends.
+
+    Returns a summary with the server's acknowledgement, the byte count
+    that crossed each connection, and the merged fault/retry counters
+    from both endpoints under ``"retry"``.
     """
+    if policy is None:
+        policy = DEFAULT_POLICY
     with RemoteAuthority(*authority_address, name=name, rng=rng,
-                         timeout=timeout) as authority:
+                         timeout=timeout, policy=policy) as authority:
         client = Client(authority, label_mapper=label_mapper, name=name,
                         workers=workers)
         dataset = client.encrypt_tabular(features, labels, num_classes)
         with RpcEndpoint(*server_address, name=name, peer=protocol.SERVER,
-                         timeout=timeout) as server:
+                         timeout=timeout, policy=policy) as server:
             ack = server.request(
                 EncryptedDataUpload(dataset=dataset, client_name=name),
                 authority.wire_ctx)
@@ -61,6 +71,8 @@ def upload_shard(authority_address: tuple[str, int],
                 raise TypeError(f"expected an ack, got {ack.kind!r}")
             upload_bytes = server.traffic.total_bytes(
                 sender=name, kind=protocol.KIND_ENCRYPTED_DATA)
+            retry_report = merge_stats(authority.endpoint.stats.snapshot(),
+                                       server.stats.snapshot())
         return {
             "name": name,
             "n_samples": len(dataset),
@@ -72,6 +84,7 @@ def upload_shard(authority_address: tuple[str, int],
             # belongs to the server connection, not this one
             "authority_bytes": authority.traffic.total_bytes(
                 sender=name, receiver=protocol.AUTHORITY),
+            "retry": retry_report,
         }
 
 

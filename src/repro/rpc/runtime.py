@@ -12,9 +12,11 @@ self-contained.
 from __future__ import annotations
 
 import asyncio
+import random
 import socket
 import threading
-import time
+
+from repro.rpc.retry import RetryPolicy
 
 
 def free_port(host: str = "127.0.0.1") -> int:
@@ -24,19 +26,29 @@ def free_port(host: str = "127.0.0.1") -> int:
         return sock.getsockname()[1]
 
 
-def wait_for_port(host: str, port: int, timeout: float = 10.0) -> None:
-    """Block until something listens on ``host:port`` (or time out)."""
-    deadline = time.monotonic() + timeout
-    while True:
+def wait_for_port(host: str, port: int, timeout: float = 10.0, *,
+                  policy: RetryPolicy | None = None,
+                  rng: random.Random | None = None) -> None:
+    """Block until something listens on ``host:port`` (or time out).
+
+    Probes under a :class:`~repro.rpc.retry.RetryPolicy` (jittered
+    exponential backoff, ``deadline=timeout``) instead of a fixed-period
+    poll: a service that binds instantly is seen after one cheap probe,
+    and a slow one is not hammered 20x/second.
+    """
+    if policy is None:
+        policy = RetryPolicy(max_attempts=1_000_000, base_delay=0.02,
+                             max_delay=0.25, deadline=timeout)
+    last_exc: Exception | None = None
+    for _ in policy.attempts(rng=rng):
         try:
             with socket.create_connection((host, port), timeout=0.5):
                 return
-        except OSError:
-            if time.monotonic() >= deadline:
-                raise TimeoutError(
-                    f"nothing listening on {host}:{port} after {timeout}s"
-                ) from None
-            time.sleep(0.05)
+        except OSError as exc:
+            last_exc = exc
+    raise TimeoutError(
+        f"nothing listening on {host}:{port} after {timeout}s"
+    ) from last_exc
 
 
 class ServiceThread:

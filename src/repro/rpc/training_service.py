@@ -64,6 +64,7 @@ from repro.rpc.messages import (
     TrainStatusRequest,
     WireContext,
 )
+from repro.rpc.retry import SERVICE_POLICY, RetryPolicy
 from repro.rpc.service import FramedService
 
 
@@ -142,9 +143,19 @@ class TrainingService(FramedService):
                  checkpoint_path: str | None = None,
                  checkpoint_every: int | None = None,
                  resume: bool = False,
+                 authority_timeout: float = 120.0,
+                 retry_policy: RetryPolicy | None = None,
                  max_frame_bytes: int = MAX_FRAME_BYTES):
         super().__init__(host, port, max_frame_bytes=max_frame_bytes)
         self.authority_address = (authority_host, authority_port)
+        #: per-request timeout on the authority link; lower it when a
+        #: chaos proxy may stall exchanges so the stall converts into a
+        #: retried timeout quickly
+        self.authority_timeout = authority_timeout
+        #: retry/backoff policy for the authority link -- generous by
+        #: default so a killed-and-restarted authority is ridden out
+        self.retry_policy = (retry_policy if retry_policy is not None
+                             else SERVICE_POLICY)
         self.expected_clients = expected_clients
         self.hidden = hidden
         self.epochs = epochs
@@ -232,7 +243,9 @@ class TrainingService(FramedService):
                 if self._stopping:
                     raise RuntimeError("training server is stopping")
                 self.authority = RemoteAuthority(
-                    *self.authority_address, name=protocol.SERVER)
+                    *self.authority_address, name=protocol.SERVER,
+                    timeout=self.authority_timeout,
+                    policy=self.retry_policy)
                 if self._stopping:
                     self.authority.close()
                     raise RuntimeError("training server is stopping")
@@ -318,6 +331,7 @@ class TrainingService(FramedService):
             "clients": len(self._shards),
             "expected": self.expected_clients,
             "error": self.error,
+            "faults": self._fault_report(),
         }
         if self.history is not None:
             detail["epoch_loss"] = self.history.epoch_loss
@@ -342,6 +356,22 @@ class TrainingService(FramedService):
             }
         return TrainStatus(state=self.state, accuracy=self.accuracy,
                            detail=detail)
+
+    def _fault_report(self) -> dict:
+        """Fault/retry counters for the ops surface: the authority
+        link's endpoint stats plus the compute pool's degradation
+        state, in the shared :data:`~repro.rpc.retry.STAT_KEYS`
+        vocabulary."""
+        report: dict = {"degraded": False}
+        authority = self.authority
+        if authority is not None:
+            report["authority_endpoint"] = authority.endpoint.stats.snapshot()
+        trainer = self.trainer
+        if trainer is not None and trainer.compute_pool is not None:
+            pool_stats = trainer.compute_pool.stats
+            report["pool"] = pool_stats
+            report["degraded"] = bool(pool_stats["degraded"])
+        return report
 
     def _note_checkpoint(self, ckpt: TrainerCheckpoint) -> None:
         # called from the training thread after each atomic write
@@ -393,7 +423,8 @@ class TrainingService(FramedService):
         authority = self.authority
         if authority is None:
             authority = RemoteAuthority(
-                *self.authority_address, name=protocol.SERVER)
+                *self.authority_address, name=protocol.SERVER,
+                timeout=self.authority_timeout, policy=self.retry_policy)
             self.authority = authority
             if self._stopping:
                 # stop() may have missed the fresh connection; under the

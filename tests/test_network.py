@@ -12,6 +12,7 @@ from repro.core.network import (
     NetworkedAuthority,
     SimulatedChannel,
 )
+from repro.rpc.retry import STAT_KEYS, RetryPolicy, merge_stats
 
 
 class TestLatencyModel:
@@ -63,6 +64,69 @@ class TestSimulatedChannel:
                                    rng=random.Random(0))
         channel.round_trip(10, 10, lambda: None)
         assert channel.clock_s == pytest.approx(2.0)
+
+
+class TestChannelRetryUnification:
+    """The simulated channel speaks the runtime's shared retry
+    vocabulary (repro.rpc.retry) so simulated and real transport
+    weather compose into one report."""
+
+    def test_stats_speak_the_shared_vocabulary(self):
+        channel = SimulatedChannel(drop_probability=0.5, max_retries=20,
+                                   rng=random.Random(3))
+        channel.send(10, lambda: None)
+        stats = channel.stats
+        assert tuple(stats) == STAT_KEYS
+        assert stats["attempts"] == channel.messages_sent
+        assert stats["drops"] == channel.messages_dropped
+        assert stats["retries"] == channel.messages_sent - 1
+        assert stats["timeouts"] == 0 and stats["reconnects"] == 0
+        assert stats["giveups"] == 0
+
+    def test_policy_governs_attempt_budget(self):
+        policy = RetryPolicy(max_attempts=2, base_delay=0.0, jitter=False)
+        channel = SimulatedChannel(drop_probability=0.999, policy=policy,
+                                   rng=random.Random(0))
+        assert channel.max_retries == 1  # policy wins over the default 3
+        with pytest.raises(ChannelError):
+            channel.send(10, lambda: None)
+        assert channel.stats["attempts"] == 2
+        assert channel.stats["giveups"] == 1
+
+    def test_policy_backoff_charged_to_simulated_clock(self):
+        policy = RetryPolicy(max_attempts=4, base_delay=0.1, multiplier=2.0,
+                             jitter=False)
+        # zero latency isolates the backoff term: 3 resends charge
+        # 0.1 + 0.2 + 0.4 simulated seconds
+        channel = SimulatedChannel(latency=LatencyModel(base_s=0.0),
+                                   drop_probability=0.999, policy=policy,
+                                   rng=random.Random(0))
+        with pytest.raises(ChannelError):
+            channel.send(10, lambda: None)
+        assert channel.clock_s == pytest.approx(0.7)
+
+    def test_no_policy_leaves_rng_stream_and_clock_unchanged(self):
+        """Back-compat: without a policy the channel must consume the
+        same rng draws and charge the same clock as before the
+        unification."""
+        kwargs = dict(latency=LatencyModel(base_s=0.01),
+                      drop_probability=0.5, max_retries=20)
+        before = SimulatedChannel(rng=random.Random(3), **kwargs)
+        after = SimulatedChannel(rng=random.Random(3), **kwargs)
+        assert before.send(10, lambda: 1) == after.send(10, lambda: 1)
+        assert before.clock_s == after.clock_s
+        assert before.messages_dropped == after.messages_dropped
+
+    def test_simulated_stats_merge_with_endpoint_snapshots(self):
+        channel = SimulatedChannel(drop_probability=0.5, max_retries=20,
+                                   rng=random.Random(3))
+        channel.send(10, lambda: None)
+        endpoint_style = {"attempts": 5, "retries": 1, "drops": 1,
+                          "timeouts": 1, "reconnects": 1, "giveups": 0}
+        merged = merge_stats(channel.stats, endpoint_style)
+        assert merged["attempts"] == channel.messages_sent + 5
+        assert merged["timeouts"] == 1
+        assert tuple(merged) == STAT_KEYS
 
 
 class TestNetworkedAuthority:

@@ -156,3 +156,81 @@ class TestParallelMatchesSerial:
         out = secure_dot_parallel(params, scheme.feip_mpk, enc, keys, bound,
                                   workers=1)
         np.testing.assert_array_equal(out, y @ x)
+
+
+@pytest.mark.timeout_guard(120)
+class TestPoolDegradation:
+    """Graceful degradation: a pool whose workers keep dying must finish
+    the dispatch sequentially in-process with identical numerics.
+
+    ``REPRO_CHAOS_WORKER_KILL`` makes every *forked worker* exit with
+    code 3 the moment it unpickles its config (the hook lives in
+    ``_install_config`` and only fires when ``parent_process()`` is not
+    None), so every executor the pool builds breaks deterministically
+    while the parent's own fallback path computes normally.
+    """
+
+    def _dot_setup(self, params, rng, solver_cache):
+        scheme = SecureMatrixScheme(params, rng=rng, solver_cache=solver_cache)
+        msk_ip, _ = scheme.setup(column_length=2)
+        x = random_matrix(rng, 2, 4)
+        y = random_matrix(rng, 3, 2)
+        enc = scheme.pre_process_encryption(x, with_febo=False)
+        keys = scheme.derive_dot_keys(msk_ip, y)
+        bound = matrix_bound_dot(15, 15, 2)
+        return scheme, enc, keys, bound, y @ x
+
+    def test_repeated_worker_kills_fall_back_to_sequential(
+            self, params, rng, solver_cache, monkeypatch):
+        monkeypatch.setenv("REPRO_CHAOS_WORKER_KILL", "1")
+        scheme, enc, keys, bound, expected = self._dot_setup(
+            params, rng, solver_cache)
+        with SecureComputePool(workers=2, crash_retries=1) as pool:
+            out = pool.secure_dot(params, scheme.feip_mpk,
+                                  enc.require_feip(), keys, bound)
+            np.testing.assert_array_equal(out, expected)
+            stats = pool.stats
+        # every executor (initial + one retry) broke and was replaced
+        assert stats["worker_restarts"] >= 1
+        assert stats["degraded_dispatches"] == 1
+        assert stats["degraded"] is True
+        assert stats["dispatches"] == 1
+
+    def test_degraded_pool_keeps_serving_identical_numerics(
+            self, params, rng, solver_cache, monkeypatch):
+        """Later dispatches on an already-degraded pool still succeed,
+        and the degraded flag stays latched while the per-dispatch
+        counter keeps counting."""
+        monkeypatch.setenv("REPRO_CHAOS_WORKER_KILL", "1")
+        scheme, enc, keys, bound, expected = self._dot_setup(
+            params, rng, solver_cache)
+        with SecureComputePool(workers=2, crash_retries=0) as pool:
+            first = pool.secure_dot(params, scheme.feip_mpk,
+                                    enc.require_feip(), keys, bound)
+            second = pool.secure_dot(params, scheme.feip_mpk,
+                                     enc.require_feip(), keys, bound)
+            np.testing.assert_array_equal(first, expected)
+            np.testing.assert_array_equal(second, expected)
+            stats = pool.stats
+        assert stats["degraded_dispatches"] == 2
+        assert stats["degraded"] is True
+        assert stats["dispatches"] == 2
+
+    def test_allow_degraded_false_raises_broken_pool(
+            self, params, rng, solver_cache, monkeypatch):
+        from concurrent.futures.process import BrokenProcessPool
+
+        monkeypatch.setenv("REPRO_CHAOS_WORKER_KILL", "1")
+        scheme, enc, keys, bound, _ = self._dot_setup(
+            params, rng, solver_cache)
+        with SecureComputePool(workers=2, crash_retries=0,
+                               allow_degraded=False) as pool:
+            with pytest.raises(BrokenProcessPool):
+                pool.secure_dot(params, scheme.feip_mpk,
+                                enc.require_feip(), keys, bound)
+            assert pool.stats["degraded"] is False
+            assert pool.stats["degraded_dispatches"] == 0
+
+    def test_crash_retries_validation(self):
+        with pytest.raises(ValueError):
+            SecureComputePool(workers=1, crash_retries=-1)

@@ -101,6 +101,64 @@ class TestFraming:
         assert third is None
 
 
+@pytest.mark.timeout_guard(30)
+class TestFramingAdversarial:
+    """Hostile/corrupt wire input must raise FrameError (or clean-close)
+    promptly -- never strand a reader.  The chaos proxy injects exactly
+    these shapes, so this is the contract its faults rely on."""
+
+    def test_header_truncated_mid_read(self):
+        # connection dies inside the JSON header region
+        frame = framing.encode_frame({"kind": "status", "seq": 12})
+        with pytest.raises(framing.FrameError):
+            _read_frames(frame[:12])
+
+    def test_length_prefix_truncated_mid_read(self):
+        with pytest.raises(framing.FrameError):
+            _read_frames(b"\x00\x00")  # 2 of the 4 prefix bytes
+
+    def test_oversized_length_prefix_rejected_before_payload(self):
+        # a hostile 2 GiB announcement must be rejected from the prefix
+        # alone -- no allocation, no waiting for bytes that never come
+        prefix = (2 ** 31).to_bytes(4, "big")
+        with pytest.raises(framing.FrameError, match="exceeds limit"):
+            _read_frames(prefix)
+
+    def test_zero_length_frame_rejected(self):
+        with pytest.raises(framing.FrameError, match="below header"):
+            _read_frames(b"\x00\x00\x00\x00")
+
+    def test_non_json_header_bytes_rejected(self):
+        # valid UTF-8, not JSON
+        garbage = b"this is not json"
+        payload = len(garbage).to_bytes(4, "big") + garbage
+        frame = (4 + len(garbage)).to_bytes(4, "big") + payload
+        with pytest.raises(framing.FrameError, match="undecodable"):
+            _read_frames(frame)
+
+    def test_non_object_json_header_rejected(self):
+        header = b"[1,2,3]"
+        payload = len(header).to_bytes(4, "big") + header
+        frame = (4 + len(header)).to_bytes(4, "big") + payload
+        with pytest.raises(framing.FrameError, match="JSON object"):
+            _read_frames(frame)
+
+    def test_header_length_overrunning_frame_rejected(self):
+        # inner header length claims more bytes than the frame holds
+        payload = (500).to_bytes(4, "big") + b'{"kind":"x"}'
+        frame = len(payload).to_bytes(4, "big") + payload
+        with pytest.raises(framing.FrameError, match="exceeds frame"):
+            _read_frames(frame)
+
+    def test_invalid_utf8_header_rejected(self):
+        # the chaos proxy's corrupt fault: 0xff bytes where JSON was
+        good = framing.encode_frame({"kind": "x", "seq": 1}, b"body")
+        header_len = int.from_bytes(good[4:8], "big")
+        corrupted = good[:8] + b"\xff" * header_len + good[8 + header_len:]
+        with pytest.raises(framing.FrameError, match="undecodable"):
+            _read_frames(corrupted)
+
+
 # ---------------------------------------------------------------------------
 # typed messages
 # ---------------------------------------------------------------------------
