@@ -45,7 +45,7 @@ from repro.rpc import (
     run_training,
     wait_for_port,
 )
-from repro.rpc.messages import TrainStatusRequest
+from repro.rpc.messages import MetricsRequest, TrainStatusRequest
 
 N_CLIENTS = 2
 SAMPLES = 20
@@ -72,6 +72,87 @@ def parse_args(argv=None) -> argparse.Namespace:
              "seed and rate reproduce the same faults on the same "
              "exchanges")
     return parser.parse_args(argv)
+
+
+def print_metrics_summary(snapshot: dict) -> None:
+    """Digest a ``service-metrics`` scrape of the training server.
+
+    Surfaces the counter families the run exercised: rpc retry
+    weather, decryption-pool utilization, the encrypt/decrypt engine
+    counters uploaded by the clients, and the per-phase timing
+    histograms from the paper's cost decomposition.
+    """
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    hists = snapshot.get("histograms", {})
+    print("\ntraining-server metrics scrape:")
+    print(f"  rpc: {counters.get('repro_rpc_attempts_total', 0)} attempts, "
+          f"{counters.get('repro_rpc_retries_total', 0)} retries, "
+          f"{counters.get('repro_rpc_timeouts_total', 0)} timeouts, "
+          f"{counters.get('repro_rpc_reconnects_total', 0)} reconnects")
+    print(f"  pool: {counters.get('repro_pool_dispatches_total', 0)} "
+          f"dispatches on {gauges.get('repro_pool_workers', 0):.0f} workers "
+          f"({counters.get('repro_pool_degraded_dispatches_total', 0)} "
+          f"degraded)")
+    print(f"  client engines: "
+          f"{counters.get('repro_client_engine_precomputed_total', 0)} "
+          f"nonces precomputed, "
+          f"{counters.get('repro_client_engine_consumed_total', 0)} consumed, "
+          f"{counters.get('repro_client_engine_misses_total', 0)} misses")
+    print(f"  trainer: {counters.get('repro_trainer_feip_decrypts_total', 0)} "
+          f"feip + {counters.get('repro_trainer_febo_decrypts_total', 0)} "
+          f"febo decrypts")
+    phases = []
+    for name, hist in sorted(hists.items()):
+        if name.startswith("repro_phase_seconds"):
+            phase = name.split('phase="', 1)[-1].rstrip('"}')
+            phases.append(f"{phase} {hist['sum']:.2f}s/{hist['count']}")
+    if phases:
+        print("  phases: " + ", ".join(phases))
+
+
+def _drive_remote_run(train_port: int, proxy) -> float:
+    """Poll the training server to completion, then scrape its metrics.
+
+    One endpoint for the whole poll loop: one TCP connection, not one
+    per poll.  Returns the remote run's accuracy.
+    """
+    deadline = time.monotonic() + 300
+    status = None
+    metrics = None
+    with RpcEndpoint("127.0.0.1", train_port, name="driver",
+                     peer="server") as endpoint:
+        while time.monotonic() < deadline:
+            try:
+                status = endpoint.request(TrainStatusRequest())
+            except Exception:
+                status = None  # server busy starting up; retry
+            if status is not None and status.state in ("done", "failed"):
+                break
+            time.sleep(0.3)
+        # scrape the server's ops surface before it is torn down
+        try:
+            metrics = endpoint.request(MetricsRequest(requester="driver"))
+        except Exception:
+            metrics = None
+    if status is None or status.state != "done":
+        detail = status.detail.get("error") if status else "no status"
+        raise RuntimeError(
+            f"remote training did not finish: "
+            f"{status.state if status else 'unreachable'} ({detail})")
+    print(f"\ndistributed run (3+ processes): accuracy "
+          f"{status.accuracy:.2%}")
+    if proxy is not None:
+        summary = proxy.fault_summary()
+        injected = summary["drops"] + summary["timeouts"] \
+            + summary["injected_delay"]
+        print(f"chaos weather: {injected} faults injected over "
+              f"{summary['exchanges']} exchanges "
+              f"({summary['drops']} drops, {summary['timeouts']} stalls, "
+              f"{summary['injected_delay']} delays)")
+    if metrics is not None:
+        print_metrics_summary(metrics.metrics)
+    return status.accuracy
 
 
 def main(argv=None) -> None:
@@ -102,6 +183,11 @@ def main(argv=None) -> None:
         print(f"chaos proxy on the authority link: rate "
               f"{args.chaos_rate:.0%}, seed {args.chaos_seed}")
 
+    # server and clients run pooled (--workers 2): pooled decryption /
+    # encryption is numerically identical to serial and puts the pool
+    # and engine counter families on the metrics scrape below.  Pool
+    # workers are child processes, so these two cannot be daemonic --
+    # the finally block below reaps them instead.
     train_proc = ctx.Process(
         target=repro_cli,
         args=(["serve-train", "--port", str(train_port),
@@ -113,8 +199,8 @@ def main(argv=None) -> None:
                # stalls must convert into quick retried timeouts, not
                # two-minute hangs
                "--authority-timeout", "2.0",
-               "--seed", str(SEED), "--stay"],),
-        daemon=True)
+               "--workers", "2",
+               "--seed", str(SEED), "--stay"],))
     train_proc.start()
     wait_for_port("127.0.0.1", train_port)
 
@@ -126,53 +212,28 @@ def main(argv=None) -> None:
                    "--server-port", str(train_port),
                    "--clinic", str(i), "--clinics", str(N_CLIENTS),
                    "--samples", str(SAMPLES), "--features", str(FEATURES),
-                   "--seed", str(SEED)],),
-            daemon=True)
+                   "--workers", "2",
+                   "--seed", str(SEED)],))
         proc.start()
         client_procs.append(proc)
-    for i, proc in enumerate(client_procs):
-        proc.join(timeout=120)
-        if proc.exitcode != 0:
-            raise RuntimeError(
-                f"client-{i} upload failed (exit code {proc.exitcode}); "
-                f"see its output above")
+    try:
+        for i, proc in enumerate(client_procs):
+            proc.join(timeout=120)
+            if proc.exitcode != 0:
+                raise RuntimeError(
+                    f"client-{i} upload failed (exit code {proc.exitcode}); "
+                    f"see its output above")
 
-    # -- poll the training server until the remote run completes ------------
-    # one endpoint for the whole poll loop: one TCP connection, not one
-    # per poll
-    deadline = time.monotonic() + 300
-    status = None
-    with RpcEndpoint("127.0.0.1", train_port, name="driver",
-                     peer="server") as endpoint:
-        while time.monotonic() < deadline:
-            try:
-                status = endpoint.request(TrainStatusRequest())
-            except Exception:
-                status = None  # server busy starting up; retry
-            if status is not None and status.state in ("done", "failed"):
-                break
-            time.sleep(0.3)
-    if status is None or status.state != "done":
-        detail = status.detail.get("error") if status else "no status"
-        raise RuntimeError(
-            f"remote training did not finish: "
-            f"{status.state if status else 'unreachable'} ({detail})")
-    remote_accuracy = status.accuracy
-    print(f"\ndistributed run (3+ processes): accuracy {remote_accuracy:.2%}")
-    if proxy is not None:
-        summary = proxy.fault_summary()
-        injected = summary["drops"] + summary["timeouts"] \
-            + summary["injected_delay"]
-        print(f"chaos weather: {injected} faults injected over "
-              f"{summary['exchanges']} exchanges "
-              f"({summary['drops']} drops, {summary['timeouts']} stalls, "
-              f"{summary['injected_delay']} delays)")
-    train_proc.terminate()
-    train_proc.join(timeout=10)
-    authority_proc.terminate()
-    authority_proc.join(timeout=10)
-    if proxy_thread is not None:
-        proxy_thread.stop()
+        remote_accuracy = _drive_remote_run(train_port, proxy)
+    finally:
+        for proc in [train_proc, *client_procs]:
+            if proc.is_alive():
+                proc.terminate()
+            proc.join(timeout=10)
+        authority_proc.terminate()
+        authority_proc.join(timeout=10)
+        if proxy_thread is not None:
+            proxy_thread.stop()
 
     # -- identical run in one process: same seeds, same entry point ---------
     authority = TrustedAuthority(CryptoNNConfig(), rng=random.Random(SEED))

@@ -33,7 +33,10 @@ from __future__ import annotations
 import argparse
 import asyncio
 import random
+import signal
 import sys
+import threading
+import time
 
 import numpy as np
 
@@ -107,6 +110,10 @@ def cmd_encrypt(args: argparse.Namespace) -> int:
 def cmd_train(args: argparse.Namespace) -> int:
     if (args.resume or args.checkpoint_every) and not args.checkpoint:
         raise SystemExit("--resume/--checkpoint-every require --checkpoint")
+    if args.trace_file:
+        from repro.obs import GLOBAL_REGISTRY, GLOBAL_TRACER
+        GLOBAL_TRACER.enable(trace_file=args.trace_file,
+                             registry=GLOBAL_REGISTRY)
     authority = load_authority(args.authority, rng=random.Random(args.seed))
     dataset = load_encrypted_tabular(args.data)
     model = _build_model(dataset.n_features, args.hidden,
@@ -124,6 +131,14 @@ def cmd_train(args: argparse.Namespace) -> int:
     accuracy = trainer.evaluate(dataset)
     print(f"final training accuracy: {accuracy:.2%}")
     print(f"decrypt counters: {trainer.counters.snapshot()}")
+    if args.trace_file:
+        from repro.obs import GLOBAL_TRACER
+        print("per-iteration phase totals:")
+        for name, agg in sorted(GLOBAL_TRACER.phase_totals().items()):
+            print(f"  {name:16s} count={agg['count']:6d} "
+                  f"total={agg['total_s']:.3f}s")
+        GLOBAL_TRACER.disable()
+        print(f"trace spans -> {args.trace_file}")
     if args.model_out:
         save_model_weights(model, args.model_out)
         print(f"model weights -> {args.model_out}")
@@ -174,6 +189,8 @@ def cmd_serve_train(args: argparse.Namespace) -> int:
         checkpoint_every=args.checkpoint_every,
         resume=args.resume,
         authority_timeout=args.authority_timeout,
+        workers=args.workers,
+        trace_file=args.trace_file,
     )
 
     async def _run() -> int:
@@ -249,6 +266,41 @@ def cmd_client_upload(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_metrics(args: argparse.Namespace) -> int:
+    """Scrape any repro service's metrics/health over the wire."""
+    from repro.obs.metrics import MetricsRegistry
+    from repro.rpc import RpcEndpoint
+    from repro.rpc.messages import HealthRequest, MetricsRequest
+
+    def scrape(endpoint) -> None:
+        health = endpoint.request(HealthRequest(requester="metrics-cli"))
+        resp = endpoint.request(MetricsRequest(requester="metrics-cli"))
+        if args.prom:
+            print(MetricsRegistry().render_prometheus(resp.metrics), end="")
+            return
+        print(f"{resp.service} at {args.host}:{args.port}: "
+              f"state={health.state} ready={health.ready}")
+        snap = resp.metrics
+        for section in ("counters", "gauges"):
+            for name in sorted(snap.get(section, {})):
+                print(f"  {name} = {snap[section][name]}")
+        for name in sorted(snap.get("histograms", {})):
+            hist = snap["histograms"][name]
+            print(f"  {name}: count={hist['count']} "
+                  f"sum={hist['sum']:.3f}s")
+
+    try:
+        with RpcEndpoint(args.host, args.port, name="metrics-cli",
+                         peer="service", timeout=args.timeout) as endpoint:
+            while True:
+                scrape(endpoint)
+                if not args.watch:
+                    return 0
+                time.sleep(args.watch)
+    except KeyboardInterrupt:
+        return 0
+
+
 def cmd_demo(args: argparse.Namespace) -> int:
     """End-to-end demo in one process (no files)."""
     config = CryptoNNConfig()
@@ -313,6 +365,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--resume", action="store_true",
                    help="continue bit-exactly from --checkpoint "
                         "(starts fresh if the file does not exist yet)")
+    p.add_argument("--trace-file",
+                   help="emit one JSONL span per training phase (key "
+                        "fetch, pool dispatch, decrypt/dlog, forward/"
+                        "backward) to this file")
     p.set_defaults(func=cmd_train)
 
     p = sub.add_parser("evaluate", help="evaluate saved weights")
@@ -372,6 +428,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-request timeout (s) on the authority link; "
                         "lower it on flaky networks so stalls convert "
                         "into retried timeouts quickly")
+    p.add_argument("--workers", type=int,
+                   help="parallelize the decryption loops over this "
+                        "many worker processes (numerically identical "
+                        "to serial, just faster); omit for serial")
+    p.add_argument("--trace-file",
+                   help="emit one JSONL span per training phase to "
+                        "this file (phase histograms are scrapeable "
+                        "via `repro metrics` either way)")
     p.set_defaults(func=cmd_serve_train)
 
     p = sub.add_parser("client-upload",
@@ -397,12 +461,41 @@ def build_parser() -> argparse.ArgumentParser:
                         "jittered exponential-backoff retry policy")
     p.set_defaults(func=cmd_client_upload)
 
+    p = sub.add_parser("metrics",
+                       help="scrape a running service's metrics/health")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, required=True)
+    p.add_argument("--watch", type=float, metavar="SECONDS",
+                   help="re-scrape every SECONDS until interrupted")
+    p.add_argument("--prom", action="store_true",
+                   help="Prometheus text exposition instead of the "
+                        "human-readable summary")
+    p.add_argument("--timeout", type=float, default=10.0)
+    p.set_defaults(func=cmd_metrics)
+
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    if threading.current_thread() is threading.main_thread():
+        # A plain SIGTERM (how process drivers stop the serve-*
+        # commands) must exit through SystemExit so the pool teardown
+        # below still runs; the default handler would strand executor
+        # workers as orphans.
+        signal.signal(signal.SIGTERM, lambda *_: sys.exit(143))
+    try:
+        return args.func(args)
+    finally:
+        # Tear down any shared compute pool before returning.  When a
+        # CLI entry point runs inside a multiprocessing child (as in
+        # examples/rpc_loopback.py), the child's _bootstrap joins all
+        # live non-daemon children *before* atexit handlers run -- so
+        # leaving executor workers for the atexit hook would deadlock
+        # the child's exit.
+        from repro.matrix.parallel import shutdown_compute_pools
+
+        shutdown_compute_pools()
 
 
 if __name__ == "__main__":  # pragma: no cover

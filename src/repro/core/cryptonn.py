@@ -39,6 +39,7 @@ from repro.core.secure_layers import (
     SecureSoftmaxCrossEntropy,
 )
 from repro.matrix.parallel import SecureComputePool, resolve_pool
+from repro.obs.tracing import GLOBAL_TRACER
 from repro.nn.activations import softmax
 from repro.nn.layers import Dense
 from repro.nn.metrics import accuracy
@@ -94,16 +95,31 @@ class _SecureTrainerBase:
 
     def train_batch(self, dataset, indices: np.ndarray,
                     optimizer: Optimizer) -> tuple[float, np.ndarray]:
-        """One secure training iteration; returns (loss, output scores)."""
-        labels = [dataset.labels[i] for i in indices]
-        z = self._secure_forward(dataset, indices, training=True)
-        out = self._plain_tail_forward(z, training=True)
-        loss_value = self.secure_loss.forward(out, labels)
-        grad = self.secure_loss.backward(labels)
-        for layer in reversed(self.model.layers[1:]):
-            grad = layer.backward(grad)
-        self._secure_backward(grad)
-        optimizer.step(self.model.layers)
+        """One secure training iteration; returns (loss, output scores).
+
+        Each phase runs under a tracer span so an enabled tracer yields
+        the paper's Figure 3-5 cost decomposition per iteration; the
+        secure phases open nested key-fetch / pool-dispatch /
+        decrypt-dlog sub-spans inside the secure layers.
+        """
+        tracer = GLOBAL_TRACER
+        with tracer.span("iteration", batch=len(indices)):
+            labels = [dataset.labels[i] for i in indices]
+            with tracer.span("secure-forward"):
+                z = self._secure_forward(dataset, indices, training=True)
+            with tracer.span("plain-forward"):
+                out = self._plain_tail_forward(z, training=True)
+            with tracer.span("loss-forward"):
+                loss_value = self.secure_loss.forward(out, labels)
+            with tracer.span("loss-backward"):
+                grad = self.secure_loss.backward(labels)
+            with tracer.span("plain-backward"):
+                for layer in reversed(self.model.layers[1:]):
+                    grad = layer.backward(grad)
+            with tracer.span("secure-backward"):
+                self._secure_backward(grad)
+            with tracer.span("optimizer-step"):
+                optimizer.step(self.model.layers)
         return loss_value, out
 
     def fit(self, dataset, optimizer: Optimizer, epochs: int = 1,

@@ -47,6 +47,7 @@ from repro.nn.layers import Dense
 from repro.matrix.parallel import SecureComputePool, resolve_pool
 from repro.mathutils.dlog import GLOBAL_SOLVER_CACHE, SolverCache
 from repro.mathutils.encoding import FixedPointCodec
+from repro.obs.tracing import GLOBAL_TRACER
 
 
 class _SecureBase:
@@ -105,12 +106,14 @@ class _FeatureReconstructor(_SecureBase):
 
     def _decrypt_elements(self, ciphertexts: Sequence, bound: int) -> list[int]:
         requests = [(ct.cmt, "*", 1) for ct in ciphertexts]
-        keys = self._request_febo_keys(requests)
+        with GLOBAL_TRACER.span("key-fetch", keys=len(requests)):
+            keys = self._request_febo_keys(requests)
         self.counters.febo_keys_requested += len(keys)
         bpk = self.authority.febo_public_key()
         solver = self._cache.get(self._febo.group, bound)
-        values = self._febo.decrypt_many(bpk, list(zip(keys, ciphertexts)),
-                                         bound, solver=solver)
+        with GLOBAL_TRACER.span("decrypt-dlog", n=len(keys)):
+            values = self._febo.decrypt_many(
+                bpk, list(zip(keys, ciphertexts)), bound, solver=solver)
         self.counters.febo_decrypts += len(values)
         return values
 
@@ -164,17 +167,20 @@ class SecureLinearInput(_FeatureReconstructor):
                 training: bool = True) -> np.ndarray:
         """Return pre-activations ``Z1`` of shape (N, hidden)."""
         rows = self._encoded_weight_rows()
-        keys = self._request_feip_keys(rows)
+        with GLOBAL_TRACER.span("key-fetch", keys=len(rows)):
+            keys = self._request_feip_keys(rows)
         self.counters.feip_keys_requested += len(keys)
         eta = self.dense.in_features
         mpk = self.authority.feip_public_key(eta)
         bound = self.config.dot_bound(eta)
         if self._pool is not None and batch:
             # one pooled dispatch decrypts the whole (sample, unit) grid
-            flat = self._pool.secure_dot(
-                self.authority.params, mpk,
-                [sample.features_ip for sample in batch], keys, bound,
-            )
+            with GLOBAL_TRACER.span("pool-dispatch",
+                                    n=len(batch) * len(keys)):
+                flat = self._pool.secure_dot(
+                    self.authority.params, mpk,
+                    [sample.features_ip for sample in batch], keys, bound,
+                )
             self.counters.feip_decrypts += len(batch) * len(keys)
             z = self.codec.decode_array(flat.T, power=2)
         else:
@@ -183,11 +189,13 @@ class SecureLinearInput(_FeatureReconstructor):
             # and walks the dlog stride once per sample, not per unit
             solver = self._solver(bound)
             z = np.empty((len(batch), len(keys)), dtype=np.float64)
-            for n, sample in enumerate(batch):
-                values = self._feip.decrypt_rows(mpk, sample.features_ip,
-                                                 keys, bound, solver=solver)
-                z[n] = [self.codec.decode(v, power=2) for v in values]
-                self.counters.feip_decrypts += len(keys)
+            with GLOBAL_TRACER.span("decrypt-dlog",
+                                    n=len(batch) * len(keys)):
+                for n, sample in enumerate(batch):
+                    values = self._feip.decrypt_rows(
+                        mpk, sample.features_ip, keys, bound, solver=solver)
+                    z[n] = [self.codec.decode(v, power=2) for v in values]
+                    self.counters.feip_decrypts += len(keys)
         z += self.dense.params["b"]
         if training:
             self._last_batch = batch
@@ -328,7 +336,8 @@ def _decrypt_label_subtractions(layer: _SecureBase, values: np.ndarray,
         (labels[i].onehot_bo[c].cmt, "-", layer.codec.encode(values[i, c]))
         for i in range(n) for c in range(num_classes)
     ]
-    keys = layer._request_febo_keys(requests)
+    with GLOBAL_TRACER.span("key-fetch", keys=len(requests)):
+        keys = layer._request_febo_keys(requests)
     layer.counters.febo_keys_requested += len(keys)
     layer.counters.febo_decrypts += len(keys)
     if layer._pool is not None and n:
@@ -336,16 +345,18 @@ def _decrypt_label_subtractions(layer: _SecureBase, values: np.ndarray,
             (i, c, labels[i].onehot_bo[c], keys[i * num_classes + c])
             for i in range(n) for c in range(num_classes)
         ]
-        grid = layer._pool.secure_elementwise(
-            layer.authority.params, bpk, tasks, (n, num_classes), bound)
+        with GLOBAL_TRACER.span("pool-dispatch", n=len(tasks)):
+            grid = layer._pool.secure_elementwise(
+                layer.authority.params, bpk, tasks, (n, num_classes), bound)
         return layer.codec.decode_array(grid)
     solver = layer._cache.get(layer._febo.group, bound)
-    values = layer._febo.decrypt_many(
-        bpk,
-        [(keys[i * num_classes + c], labels[i].onehot_bo[c])
-         for i in range(n) for c in range(num_classes)],
-        bound, solver=solver,
-    )
+    with GLOBAL_TRACER.span("decrypt-dlog", n=len(keys)):
+        values = layer._febo.decrypt_many(
+            bpk,
+            [(keys[i * num_classes + c], labels[i].onehot_bo[c])
+             for i in range(n) for c in range(num_classes)],
+            bound, solver=solver,
+        )
     out = np.empty((n, num_classes), dtype=np.float64)
     for i in range(n):
         for c in range(num_classes):
@@ -384,21 +395,25 @@ class SecureSoftmaxCrossEntropy(_SecureBase):
         solver = self._solver(bound)
         encoded_rows = [[self.codec.encode(v) for v in log_p[n]]
                         for n in range(logits.shape[0])]
-        if self.config.batch_key_requests:
-            # all per-sample log-p keys in one envelope (one round trip)
-            keys = self._request_feip_keys(encoded_rows)
-        else:
-            # one request per sample, matching the unbatched accounting
-            keys = [self.authority.derive_feip_keys([row])[0]
-                    for row in encoded_rows]
+        with GLOBAL_TRACER.span("key-fetch", keys=len(encoded_rows)):
+            if self.config.batch_key_requests:
+                # all per-sample log-p keys in one envelope (one round
+                # trip)
+                keys = self._request_feip_keys(encoded_rows)
+            else:
+                # one request per sample, matching the unbatched
+                # accounting
+                keys = [self.authority.derive_feip_keys([row])[0]
+                        for row in encoded_rows]
         self.counters.feip_keys_requested += len(keys)
         # bases differ per sample (each label has its own ciphertext), so
         # only the bounded dlogs batch: one shared giant-step walk
-        elements = [self._feip.decrypt_raw(mpk, label.onehot_ip, key)
-                    for label, key in zip(labels, keys)]
-        self.counters.feip_decrypts += len(elements)
-        total = -sum(self.codec.decode(v, power=2)
-                     for v in solver.solve_many(elements))
+        with GLOBAL_TRACER.span("decrypt-dlog", n=len(keys)):
+            elements = [self._feip.decrypt_raw(mpk, label.onehot_ip, key)
+                        for label, key in zip(labels, keys)]
+            self.counters.feip_decrypts += len(elements)
+            total = -sum(self.codec.decode(v, power=2)
+                         for v in solver.solve_many(elements))
         self._probs = probs
         return total / logits.shape[0]
 

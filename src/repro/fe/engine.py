@@ -55,6 +55,8 @@ from repro.fe.keys import (
     key_fingerprint,
 )
 from repro.mathutils.group import GroupParams, SchnorrGroup
+from repro.obs.metrics import GLOBAL_REGISTRY
+from repro.obs.tracing import GLOBAL_TRACER
 
 
 def make_feip_nonce(group: SchnorrGroup, mpk: FeipPublicKey) -> FeipNonce:
@@ -142,10 +144,40 @@ class EncryptionEngine:
         self.precomputed = 0
         self.consumed = 0
         self.misses = 0
+        GLOBAL_REGISTRY.register_collector(
+            f"engine.{id(self)}", self._obs_collect)
 
     def _count(self, attr: str, n: int = 1) -> None:
         with self._stats_lock:
             setattr(self, attr, getattr(self, attr) + n)
+
+    def stats(self) -> dict[str, int]:
+        """One consistent snapshot of the hit/miss counters.
+
+        Reading the three attributes individually can interleave with a
+        concurrent ``_count`` (a filler thread or pooled bulk encrypt)
+        and report e.g. a consumption without its production; copying
+        under the same lock the writers take closes that gap.
+        """
+        with self._stats_lock:
+            return {
+                "precomputed": self.precomputed,
+                "consumed": self.consumed,
+                "misses": self.misses,
+            }
+
+    def _obs_collect(self) -> dict[str, int]:
+        """Registry collector: counters plus current nonce-store depth."""
+        stats = self.stats()
+        with self._stores_lock:
+            depth = sum(len(s) for s in self._feip_stores.values()) \
+                + sum(len(s) for s in self._febo_stores.values())
+        return {
+            "repro_engine_precomputed_total": stats["precomputed"],
+            "repro_engine_consumed_total": stats["consumed"],
+            "repro_engine_misses_total": stats["misses"],
+            "repro_engine_nonce_store_depth": depth,
+        }
 
     # -- stores ---------------------------------------------------------------
     def _store(self, stores: dict[int, _NonceStore], mpk) -> _NonceStore:
@@ -251,6 +283,12 @@ class EncryptionEngine:
         encrypted pool-parallel (workers generate their own nonces), so
         bulk throughput scales with workers even without prefill.
         """
+        with GLOBAL_TRACER.span("encrypt", scheme="feip", n=len(columns)):
+            return self._encrypt_feip_columns(mpk, columns)
+
+    def _encrypt_feip_columns(self, mpk: FeipPublicKey,
+                              columns: Sequence[Sequence[int]]
+                              ) -> list[FeipCiphertext]:
         store = self._store(self._feip_stores, mpk)
         out: list[FeipCiphertext | None] = [None] * len(columns)
         remainder: list[tuple[int, Sequence[int]]] = []
@@ -281,6 +319,11 @@ class EncryptionEngine:
     def encrypt_febo_values(self, mpk: FeboPublicKey,
                             values: Sequence[int]) -> list[FeboCiphertext]:
         """Encrypt many scalars under one key (pool-parallel remainder)."""
+        with GLOBAL_TRACER.span("encrypt", scheme="febo", n=len(values)):
+            return self._encrypt_febo_values(mpk, values)
+
+    def _encrypt_febo_values(self, mpk: FeboPublicKey,
+                             values: Sequence[int]) -> list[FeboCiphertext]:
         store = self._store(self._febo_stores, mpk)
         out: list[FeboCiphertext | None] = [None] * len(values)
         remainder: list[tuple[int, int]] = []

@@ -16,6 +16,7 @@ from collections import OrderedDict
 from collections.abc import Sequence
 
 from repro.mathutils.group import SchnorrGroup
+from repro.obs.metrics import GLOBAL_REGISTRY
 
 
 class DiscreteLogError(ValueError):
@@ -198,12 +199,20 @@ class SolverCache:
     ``max_entries`` bounds the cache with least-recently-used eviction;
     the default (None) keeps it unbounded, which is what in-process
     experiments with a handful of bounds want.
+
+    The ``hits``/``builds``/``evictions`` counters are plain ints read
+    by the metrics registry at scrape time; like the cache itself they
+    are not thread-safe (callers already serialise access), so the
+    readings are best-effort under concurrent mutation.
     """
 
     def __init__(self, max_entries: int | None = None) -> None:
         if max_entries is not None and max_entries < 1:
             raise ValueError("max_entries must be >= 1 (or None)")
         self.max_entries = max_entries
+        self.hits = 0
+        self.builds = 0
+        self.evictions = 0
         self._solvers: OrderedDict[tuple[int, int, int], DlogSolver] = \
             OrderedDict()
 
@@ -211,12 +220,15 @@ class SolverCache:
         key = (group.p, group.g, bound)
         solver = self._solvers.get(key)
         if solver is None:
+            self.builds += 1
             solver = DlogSolver(group, bound)
             self._solvers[key] = solver
             if self.max_entries is not None:
                 while len(self._solvers) > self.max_entries:
                     self._solvers.popitem(last=False)
+                    self.evictions += 1
         else:
+            self.hits += 1
             self._solvers.move_to_end(key)
         return solver
 
@@ -231,3 +243,17 @@ class SolverCache:
 #: isolation (tests) but falls back to this shared one; it is bounded so
 #: long-lived services cannot accumulate dlog tables indefinitely.
 GLOBAL_SOLVER_CACHE = SolverCache(max_entries=GLOBAL_SOLVER_CACHE_ENTRIES)
+
+
+def _collect_global_solver_cache() -> dict[str, int]:
+    cache = GLOBAL_SOLVER_CACHE
+    return {
+        "repro_dlog_solver_cache_entries": len(cache),
+        "repro_dlog_solver_cache_hits_total": cache.hits,
+        "repro_dlog_solver_cache_builds_total": cache.builds,
+        "repro_dlog_solver_cache_evictions_total": cache.evictions,
+    }
+
+
+GLOBAL_REGISTRY.register_collector(
+    "dlog.global_solver_cache", _collect_global_solver_cache)

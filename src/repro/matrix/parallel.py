@@ -60,6 +60,7 @@ from repro.fe.keys import (
 from repro.matrix.secure_matrix import EncryptedMatrix
 from repro.mathutils.dlog import GLOBAL_SOLVER_CACHE
 from repro.mathutils.group import GroupParams
+from repro.obs.metrics import GLOBAL_REGISTRY
 
 # Per-process state installed by the configuration broadcast, keyed by
 # config sequence number.  A module-level dict is the standard idiom: it
@@ -257,16 +258,38 @@ class SecureComputePool:
         self.degraded_dispatches = 0
         #: latched True by the first degraded dispatch
         self.degraded = False
+        GLOBAL_REGISTRY.register_collector(
+            f"pool.{id(self)}", self._obs_collect)
 
     @property
     def stats(self) -> dict[str, int | bool]:
-        """Fault counters for the ops surface (train-status, reports)."""
+        """Fault counters for the ops surface (train-status, reports).
+
+        Copied under the pool lock so a scrape concurrent with a
+        dispatch sees one consistent view (e.g. never a degraded
+        dispatch without the ``degraded`` latch).
+        """
+        with self._lock:
+            return {
+                "dispatches": self.dispatches,
+                "executors_created": self.executors_created,
+                "worker_restarts": self.worker_restarts,
+                "degraded_dispatches": self.degraded_dispatches,
+                "degraded": self.degraded,
+            }
+
+    def _obs_collect(self) -> dict[str, int]:
+        """Registry collector; multiple pools sum into one family."""
+        stats = self.stats
         return {
-            "dispatches": self.dispatches,
-            "executors_created": self.executors_created,
-            "worker_restarts": self.worker_restarts,
-            "degraded_dispatches": self.degraded_dispatches,
-            "degraded": self.degraded,
+            "repro_pool_dispatches_total": stats["dispatches"],
+            "repro_pool_executors_created_total":
+                stats["executors_created"],
+            "repro_pool_worker_restarts_total": stats["worker_restarts"],
+            "repro_pool_degraded_dispatches_total":
+                stats["degraded_dispatches"],
+            "repro_pool_degraded": int(stats["degraded"]),
+            "repro_pool_workers": self.workers,
         }
 
     # -- lifecycle -----------------------------------------------------------
@@ -367,7 +390,8 @@ class SecureComputePool:
             n_tasks = len(tasks)
         if chunksize is None:
             chunksize = max(1, n_tasks // (self.workers * parallelism_hint))
-        self.dispatches += 1
+        with self._lock:
+            self.dispatches += 1
         bound_fn = partial(fn, config)
         last_exc: BrokenProcessPool | None = None
         for _ in range(self.crash_retries + 1):
@@ -388,8 +412,9 @@ class SecureComputePool:
                         self.worker_restarts += 1
         if not self.allow_degraded:
             raise last_exc
-        self.degraded_dispatches += 1
-        self.degraded = True
+        with self._lock:
+            self.degraded_dispatches += 1
+            self.degraded = True
         return [bound_fn(task) for task in factory()]
 
     # -- secure computations ---------------------------------------------------

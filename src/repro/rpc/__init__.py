@@ -46,7 +46,13 @@ from repro.rpc.client_agent import (
     upload_shard,
 )
 from repro.rpc.framing import MAX_FRAME_BYTES, FrameError
-from repro.rpc.messages import WireContext
+from repro.rpc.messages import (
+    HealthRequest,
+    HealthResponse,
+    MetricsRequest,
+    MetricsResponse,
+    WireContext,
+)
 from repro.rpc.retry import (
     DEFAULT_POLICY,
     SERVICE_POLICY,
@@ -76,7 +82,11 @@ __all__ = [
     "call_with_retry",
     "merge_stats",
     "FrameError",
+    "HealthRequest",
+    "HealthResponse",
     "MAX_FRAME_BYTES",
+    "MetricsRequest",
+    "MetricsResponse",
     "RemoteAuthority",
     "RpcEndpoint",
     "RpcError",

@@ -44,6 +44,7 @@ from repro.rpc.messages import (
     encode_message,
 )
 from repro.rpc.retry import RetryPolicy, RetryStats
+from repro.obs.metrics import GLOBAL_REGISTRY
 
 
 class RpcError(Exception):
@@ -110,6 +111,20 @@ class RpcEndpoint:
         self._seq = 0
         self._connects = 0
         self._closed = False
+        GLOBAL_REGISTRY.register_collector(
+            f"rpc_endpoint.{id(self)}", self._obs_collect)
+
+    def _obs_collect(self) -> dict[str, int]:
+        """Registry collector: this endpoint's retry/fault counters.
+
+        All live endpoints in the process sum into one
+        ``repro_rpc_*_total`` family (``retry.merge_stats`` semantics,
+        but at scrape time).
+        """
+        readings = {f"repro_rpc_{k}_total": v
+                    for k, v in self.stats.snapshot().items()}
+        readings["repro_rpc_endpoints"] = 1
+        return readings
 
     # -- event-loop plumbing -------------------------------------------------
     def _ensure_loop(self) -> asyncio.AbstractEventLoop:

@@ -62,10 +62,15 @@ def upload_shard(authority_address: tuple[str, int],
         client = Client(authority, label_mapper=label_mapper, name=name,
                         workers=workers)
         dataset = client.encrypt_tabular(features, labels, num_classes)
+        # the engine's hit/miss counters ride along with the upload so
+        # the training server's metrics scrape covers the encrypt side
+        engine_stats = (client.engine.stats()
+                        if client.engine is not None else None)
         with RpcEndpoint(*server_address, name=name, peer=protocol.SERVER,
                          timeout=timeout, policy=policy) as server:
             ack = server.request(
-                EncryptedDataUpload(dataset=dataset, client_name=name),
+                EncryptedDataUpload(dataset=dataset, client_name=name,
+                                    stats=engine_stats),
                 authority.wire_ctx)
             if not isinstance(ack, Ack):
                 raise TypeError(f"expected an ack, got {ack.kind!r}")

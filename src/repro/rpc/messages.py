@@ -46,6 +46,10 @@ KIND_TRAIN_STATUS_RESPONSE = "train-status-response"
 KIND_TRAIN_CHECKPOINT = "train-checkpoint"
 KIND_PREDICT_REQUEST = "predict-request"
 KIND_PREDICT_RESPONSE = "predict-response"
+KIND_SERVICE_METRICS = "service-metrics"
+KIND_SERVICE_METRICS_RESPONSE = "service-metrics-response"
+KIND_SERVICE_HEALTH = "service-health"
+KIND_SERVICE_HEALTH_RESPONSE = "service-health-response"
 
 
 class MessageError(Exception):
@@ -364,18 +368,25 @@ class EncryptedDataUpload:
 
     dataset: EncryptedTabularDataset
     client_name: str = protocol.CLIENT
+    #: optional client-side encryption-engine counters (precomputed /
+    #: consumed / misses); the training server folds them into its
+    #: metrics registry so the ops surface covers the encrypt side too
+    stats: dict[str, int] | None = None
 
     kind: ClassVar[str] = protocol.KIND_ENCRYPTED_DATA
 
     def header(self) -> dict[str, Any]:
         d = self.dataset
-        return {
+        header = {
             "n": len(d), "n_features": d.n_features,
             "num_classes": d.num_classes, "scale": d.scale,
             "from": self.client_name,
             "eval_labels": (d.eval_labels.tolist()
                             if d.eval_labels is not None else None),
         }
+        if self.stats:
+            header["stats"] = {k: int(v) for k, v in self.stats.items()}
+        return header
 
     def body(self, ctx: WireContext | None = None) -> bytes:
         params = _require_ctx(ctx).params
@@ -433,8 +444,11 @@ class EncryptedDataUpload:
             eval_labels=(np.asarray(eval_labels, dtype=np.int64)
                          if eval_labels is not None else None),
         )
+        stats = header.get("stats")
         return cls(dataset=dataset,
-                   client_name=str(header.get("from", protocol.CLIENT)))
+                   client_name=str(header.get("from", protocol.CLIENT)),
+                   stats=({k: int(v) for k, v in stats.items()}
+                          if stats else None))
 
 
 # -- control messages ------------------------------------------------------------
@@ -614,3 +628,92 @@ class PredictResponse:
     def from_wire(cls, header, body, ctx):
         return cls(scores=[[float(v) for v in row]
                            for row in header.get("scores", [])])
+
+
+# -- observability (answered by FramedService itself; no handshake) --------------
+
+@_register(KIND_SERVICE_METRICS)
+@dataclasses.dataclass
+class MetricsRequest:
+    """Scrape a service's metrics registry snapshot."""
+
+    requester: str = protocol.CLIENT
+
+    kind: ClassVar[str] = KIND_SERVICE_METRICS
+
+    def header(self) -> dict[str, Any]:
+        return {"from": self.requester}
+
+    def body(self, ctx: WireContext | None = None) -> bytes:
+        return b""
+
+    @classmethod
+    def from_wire(cls, header, body, ctx):
+        return cls(requester=str(header.get("from", protocol.CLIENT)))
+
+
+@_register(KIND_SERVICE_METRICS_RESPONSE)
+@dataclasses.dataclass
+class MetricsResponse:
+    """One registry snapshot (counters / gauges / histograms), JSON-safe."""
+
+    service: str
+    metrics: dict[str, Any] = dataclasses.field(default_factory=dict)
+
+    kind: ClassVar[str] = KIND_SERVICE_METRICS_RESPONSE
+
+    def header(self) -> dict[str, Any]:
+        return {"service": self.service, "metrics": self.metrics}
+
+    def body(self, ctx: WireContext | None = None) -> bytes:
+        return b""
+
+    @classmethod
+    def from_wire(cls, header, body, ctx):
+        return cls(service=str(header.get("service", "service")),
+                   metrics=dict(header.get("metrics", {})))
+
+
+@_register(KIND_SERVICE_HEALTH)
+@dataclasses.dataclass
+class HealthRequest:
+    """Readiness probe: is the service able to do useful work yet?"""
+
+    requester: str = protocol.CLIENT
+
+    kind: ClassVar[str] = KIND_SERVICE_HEALTH
+
+    def header(self) -> dict[str, Any]:
+        return {"from": self.requester}
+
+    def body(self, ctx: WireContext | None = None) -> bytes:
+        return b""
+
+    @classmethod
+    def from_wire(cls, header, body, ctx):
+        return cls(requester=str(header.get("from", protocol.CLIENT)))
+
+
+@_register(KIND_SERVICE_HEALTH_RESPONSE)
+@dataclasses.dataclass
+class HealthResponse:
+    """Liveness is implied by answering; ``ready`` is the useful bit."""
+
+    ready: bool
+    state: str = "serving"
+    detail: dict[str, Any] = dataclasses.field(default_factory=dict)
+
+    kind: ClassVar[str] = KIND_SERVICE_HEALTH_RESPONSE
+
+    def header(self) -> dict[str, Any]:
+        return {"ready": self.ready, "state": self.state,
+                "detail": self.detail}
+
+    def body(self, ctx: WireContext | None = None) -> bytes:
+        return b""
+
+    @classmethod
+    def from_wire(cls, header, body, ctx):
+        return cls(ready=bool(header.get("ready", False)),
+                   state=str(header.get("state", "unknown")),
+                   detail=dict(header.get("detail", {})))

@@ -19,6 +19,7 @@ import asyncio
 import contextlib
 
 from repro.core.protocol import TrafficLog
+from repro.obs.metrics import GLOBAL_REGISTRY
 from repro.rpc.framing import (
     MAX_FRAME_BYTES,
     FrameError,
@@ -26,11 +27,22 @@ from repro.rpc.framing import (
     write_frame,
 )
 from repro.rpc.messages import (
+    KIND_SERVICE_HEALTH,
+    KIND_SERVICE_METRICS,
     ErrorMessage,
+    HealthRequest,
+    HealthResponse,
+    MetricsRequest,
+    MetricsResponse,
     WireContext,
     decode_message,
     encode_message,
 )
+
+#: Message kinds every FramedService answers itself, before the
+#: subclass context hook runs -- so a scrape needs no handshake and
+#: cannot be blocked by a busy dispatch path.
+OBS_KINDS = frozenset({KIND_SERVICE_METRICS, KIND_SERVICE_HEALTH})
 
 
 class FramedService:
@@ -62,6 +74,37 @@ class FramedService:
         self.address: tuple[str, int] | None = None
         self._server: asyncio.AbstractServer | None = None
         self._conn_tasks: set[asyncio.Task] = set()
+        GLOBAL_REGISTRY.register_collector(
+            f"service.{id(self)}", self._obs_collect)
+
+    # -- observability -------------------------------------------------------
+    def _obs_collect(self) -> dict[str, int]:
+        """Registry collector: request/connection/traffic aggregates."""
+        total_bytes = 0
+        total_messages = 0
+        for log in list(self.connection_traffic.values()):
+            total_bytes += log.total_bytes()
+            total_messages += log.message_count()
+        return {
+            "repro_service_requests_total": self.requests_served,
+            "repro_service_connections_in_flight": len(self._conn_tasks),
+            "repro_service_traffic_bytes_total": total_bytes,
+            "repro_service_traffic_messages_total": total_messages,
+            "repro_service_connection_logs": len(self.connection_traffic),
+        }
+
+    def _health(self) -> HealthResponse:
+        """Readiness hook; the base service is ready once it listens."""
+        return HealthResponse(ready=True, state="serving", detail={})
+
+    def _dispatch_obs(self, msg):
+        """Answer a metrics/health probe from the shared registry."""
+        if isinstance(msg, MetricsRequest):
+            return MetricsResponse(service=self.entity_name,
+                                   metrics=GLOBAL_REGISTRY.snapshot())
+        if isinstance(msg, HealthRequest):
+            return self._health()
+        raise TypeError(f"not an observability message: {msg!r}")
 
     # -- subclass hooks ------------------------------------------------------
     async def _wire_context(self) -> WireContext | None:
@@ -129,13 +172,22 @@ class FramedService:
                            str(header.get("kind")), len(body))
                 ctx = None
                 try:
-                    ctx = await self._wire_context_for(header)
-                    # decode/encode off-loop: a paper-scale upload body
-                    # unpacks hundreds of thousands of integers, which
-                    # must not stall every other connection
-                    msg = await asyncio.to_thread(
-                        decode_message, header, body, ctx)
-                    resp = await self._dispatch(msg, sender)
+                    if header.get("kind") in OBS_KINDS:
+                        # metrics/health are context-free and answered
+                        # here, so probes work on every service without
+                        # a handshake and without entering the
+                        # (possibly busy) subclass dispatch path
+                        msg = decode_message(header, body, None)
+                        resp = self._dispatch_obs(msg)
+                    else:
+                        ctx = await self._wire_context_for(header)
+                        # decode/encode off-loop: a paper-scale upload
+                        # body unpacks hundreds of thousands of
+                        # integers, which must not stall every other
+                        # connection
+                        msg = await asyncio.to_thread(
+                            decode_message, header, body, ctx)
+                        resp = await self._dispatch(msg, sender)
                 except asyncio.CancelledError:
                     raise
                 except Exception as exc:

@@ -56,6 +56,7 @@ from repro.rpc.messages import (
     Ack,
     EncryptedDataUpload,
     ErrorMessage,
+    HealthResponse,
     PredictRequest,
     PredictResponse,
     TrainCheckpointRequest,
@@ -66,6 +67,8 @@ from repro.rpc.messages import (
 )
 from repro.rpc.retry import SERVICE_POLICY, RetryPolicy
 from repro.rpc.service import FramedService
+from repro.obs.metrics import GLOBAL_REGISTRY
+from repro.obs.tracing import GLOBAL_TRACER
 
 
 #: Message kinds a training server answers without group parameters.
@@ -145,7 +148,10 @@ class TrainingService(FramedService):
                  resume: bool = False,
                  authority_timeout: float = 120.0,
                  retry_policy: RetryPolicy | None = None,
-                 max_frame_bytes: int = MAX_FRAME_BYTES):
+                 max_frame_bytes: int = MAX_FRAME_BYTES,
+                 workers: int | None = None,
+                 trace_file: str | None = None,
+                 chaos_proxy=None):
         super().__init__(host, port, max_frame_bytes=max_frame_bytes)
         self.authority_address = (authority_host, authority_port)
         #: per-request timeout on the authority link; lower it when a
@@ -174,6 +180,18 @@ class TrainingService(FramedService):
                              if checkpoint_path is not None else None)
         if resume and checkpoint_path is None:
             raise ValueError("resume=True requires checkpoint_path")
+
+        #: pooled decryption during training (None = serial); pooled
+        #: and serial paths are numerically identical, so this only
+        #: changes speed, never the trajectory
+        self.workers = workers
+        #: JSONL span output for the per-iteration cost decomposition
+        self.trace_file = trace_file
+        #: optional service-hosted :class:`~repro.rpc.chaos.ChaosProxy`
+        #: whose ``fault_summary()`` is merged into ``train-status``
+        #: fault reports (and the metrics scrape) alongside the
+        #: endpoint/pool counters
+        self.chaos_proxy = chaos_proxy
 
         self.state = "waiting"  # waiting -> training -> done | failed
         self.error: str | None = None
@@ -295,6 +313,13 @@ class TrainingService(FramedService):
             self._shards = [(name, shard) for name, shard in self._shards
                             if name != msg.client_name]
             self._shards.append((msg.client_name, msg.dataset))
+            if msg.stats:
+                # client-side encryption-engine counters ride along with
+                # the upload; folding them here puts the encrypt half of
+                # the cost profile on this server's scrapeable surface
+                for key, value in msg.stats.items():
+                    GLOBAL_REGISTRY.counter(
+                        f"repro_client_engine_{key}_total").inc(value)
             if len(self._shards) >= self.expected_clients:
                 self._start_training()
             return Ack(info={"received": len(msg.dataset),
@@ -361,7 +386,9 @@ class TrainingService(FramedService):
         """Fault/retry counters for the ops surface: the authority
         link's endpoint stats plus the compute pool's degradation
         state, in the shared :data:`~repro.rpc.retry.STAT_KEYS`
-        vocabulary."""
+        vocabulary.  A service-hosted chaos proxy's fault summary is
+        merged in too, so ``train-status`` reports injected weather
+        next to the retries it caused."""
         report: dict = {"degraded": False}
         authority = self.authority
         if authority is not None:
@@ -371,7 +398,40 @@ class TrainingService(FramedService):
             pool_stats = trainer.compute_pool.stats
             report["pool"] = pool_stats
             report["degraded"] = bool(pool_stats["degraded"])
+        if self.chaos_proxy is not None:
+            report["chaos_proxy"] = self.chaos_proxy.fault_summary()
         return report
+
+    # -- observability -------------------------------------------------------
+    def _health(self) -> HealthResponse:
+        """Ready = keys fetched AND a job is (or can be) configured.
+
+        A server still ``waiting`` with no uploads and no durable job
+        cannot do useful work yet; neither can one that has not
+        completed the authority handshake (no group parameters, so it
+        cannot even decode an upload).
+        """
+        keys_fetched = self._cached_ctx is not None
+        job_configured = self.state != "waiting" or bool(self._shards) \
+            or self.has_durable_job()
+        return HealthResponse(
+            ready=keys_fetched and job_configured,
+            state=self.state,
+            detail={
+                "keys_fetched": keys_fetched,
+                "job_configured": job_configured,
+                "clients": len(self._shards),
+                "expected": self.expected_clients,
+                "error": self.error,
+            })
+
+    def _obs_collect(self) -> dict[str, int]:
+        readings = super()._obs_collect()
+        trainer = self.trainer
+        if trainer is not None:
+            for key, value in trainer.counters.snapshot().items():
+                readings[f"repro_trainer_{key}_total"] = value
+        return readings
 
     def _note_checkpoint(self, ckpt: TrainerCheckpoint) -> None:
         # called from the training thread after each atomic write
@@ -433,18 +493,33 @@ class TrainingService(FramedService):
                 raise RuntimeError("training server is stopping")
         config = dataclasses.replace(
             authority.config, batch_key_requests=self.batch_key_requests)
-        self.trainer, self.history, self.accuracy = run_training(
-            self.dataset, authority, hidden=self.hidden, epochs=self.epochs,
-            batch_size=self.batch_size, learning_rate=self.learning_rate,
-            seed=self.seed, loss=self.loss, config=config,
-            checkpoint_path=self.checkpoint_path,
-            checkpoint_every=self.checkpoint_every,
-            resume=self._resuming,
-            checkpoint_trigger=(self._take_checkpoint_request
-                                if self.checkpoint_path is not None
-                                else None),
-            on_checkpoint=(self._note_checkpoint
-                           if self.checkpoint_path is not None else None))
+        if self.workers is not None:
+            config = dataclasses.replace(config, workers=self.workers)
+        # phase timings are part of the service's ops surface: spans
+        # land in repro_phase_seconds histograms (and the trace file
+        # when configured), scrapeable via service-metrics; disabled
+        # again after the run so the global tracer costs nothing while
+        # the server merely answers status/predict traffic
+        GLOBAL_TRACER.enable(trace_file=self.trace_file,
+                             registry=GLOBAL_REGISTRY)
+        try:
+            self.trainer, self.history, self.accuracy = run_training(
+                self.dataset, authority, hidden=self.hidden,
+                epochs=self.epochs,
+                batch_size=self.batch_size,
+                learning_rate=self.learning_rate,
+                seed=self.seed, loss=self.loss, config=config,
+                checkpoint_path=self.checkpoint_path,
+                checkpoint_every=self.checkpoint_every,
+                resume=self._resuming,
+                checkpoint_trigger=(self._take_checkpoint_request
+                                    if self.checkpoint_path is not None
+                                    else None),
+                on_checkpoint=(self._note_checkpoint
+                               if self.checkpoint_path is not None
+                               else None))
+        finally:
+            GLOBAL_TRACER.disable()
 
     def _predict(self, indices: list[int]) -> list[list[float]]:
         with self._predict_lock:

@@ -1,14 +1,26 @@
 """Library logging configuration.
 
 The library never configures the root logger; applications opt in via
-:func:`enable_console_logging`.
+:func:`enable_console_logging`.  Two formats are offered: the classic
+single-line text format, and an opt-in JSON-lines format
+(``fmt="json"``) whose records carry the service name and, when a
+log call passes ``extra={"peer": ...}``, the remote peer -- so logs
+from several co-hosted services can be split apart after the fact.
 """
 
 from __future__ import annotations
 
+import json
 import logging
 
 LIBRARY_LOGGER_NAME = "repro"
+
+# logging.LogRecord attributes that are bookkeeping, not payload --
+# anything NOT in this set was passed via ``extra=`` and is forwarded
+# into the JSON record verbatim
+_RESERVED_RECORD_FIELDS = frozenset(
+    logging.LogRecord("", 0, "", 0, "", (), None).__dict__
+) | {"message", "asctime", "taskName"}
 
 
 def get_logger(name: str) -> logging.Logger:
@@ -18,13 +30,62 @@ def get_logger(name: str) -> logging.Logger:
     return logging.getLogger(f"{LIBRARY_LOGGER_NAME}.{name}")
 
 
-def enable_console_logging(level: int = logging.INFO) -> None:
-    """Attach a simple stderr handler to the library logger."""
+class JsonFormatter(logging.Formatter):
+    """One JSON object per line: ts/level/logger/msg plus extras.
+
+    ``service`` (the hosting entity's name, e.g. ``"authority"``) is
+    stamped on every record; fields passed through ``extra=`` on the
+    log call -- most usefully ``peer`` -- are merged in as-is when
+    they are JSON-serializable (non-serializable values are repr'd
+    rather than dropped, so a bad extra never loses the log line).
+    """
+
+    def __init__(self, service: str | None = None) -> None:
+        super().__init__()
+        self.service = service
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": self.formatTime(record, "%Y-%m-%dT%H:%M:%S%z"),
+            "level": record.levelname,
+            "logger": record.name,
+            "msg": record.getMessage(),
+        }
+        if self.service is not None:
+            payload["service"] = self.service
+        for key, value in record.__dict__.items():
+            if key in _RESERVED_RECORD_FIELDS or key in payload:
+                continue
+            try:
+                json.dumps(value)
+            except (TypeError, ValueError):
+                value = repr(value)
+            payload[key] = value
+        if record.exc_info:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload, sort_keys=True)
+
+
+def enable_console_logging(level: int = logging.INFO, *,
+                           fmt: str = "text",
+                           service: str | None = None) -> None:
+    """Attach a stderr handler to the library logger.
+
+    ``fmt="text"`` keeps the classic one-line format; ``fmt="json"``
+    emits one JSON object per line (see :class:`JsonFormatter`),
+    stamping ``service`` on every record.  Calling again replaces the
+    formatter on the existing handler, so switching formats or the
+    stamped service name mid-process is safe.
+    """
+    if fmt not in ("text", "json"):
+        raise ValueError(f"unknown log format {fmt!r}; use 'text' or 'json'")
     logger = logging.getLogger(LIBRARY_LOGGER_NAME)
+    if fmt == "json":
+        formatter: logging.Formatter = JsonFormatter(service=service)
+    else:
+        formatter = logging.Formatter(
+            "%(asctime)s %(name)s %(levelname)s %(message)s")
     if not logger.handlers:
-        handler = logging.StreamHandler()
-        handler.setFormatter(
-            logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s")
-        )
-        logger.addHandler(handler)
+        logger.addHandler(logging.StreamHandler())
+    logger.handlers[0].setFormatter(formatter)
     logger.setLevel(level)

@@ -34,8 +34,10 @@ from repro.rpc import (
     ChaosConfig,
     ChaosProxy,
     ChaosSchedule,
+    MetricsRequest,
     RemoteAuthority,
     RetryPolicy,
+    RpcEndpoint,
     ServiceThread,
     TrainingService,
     run_training,
@@ -255,7 +257,8 @@ class TestChaosTraining:
             epochs=EPOCHS, batch_size=BATCH_SIZE, learning_rate=LR,
             seed=SEED, authority_timeout=1.5,
             retry_policy=RetryPolicy(max_attempts=10, base_delay=0.02,
-                                     max_delay=0.3))
+                                     max_delay=0.3),
+            chaos_proxy=proxy)
         train_thread = ServiceThread(service)
         train_addr = train_thread.start()
         try:
@@ -278,10 +281,29 @@ class TestChaosTraining:
             assert endpoint_stats["retries"] > 0
             assert endpoint_stats["giveups"] == 0
 
-            # fault counters surface on the ops surface (train-status)
+            # fault counters surface on the ops surface (train-status);
+            # the service-hosted proxy's weather is merged in too
             faults = service._status().detail["faults"]
             assert faults["authority_endpoint"] == endpoint_stats
             assert faults["degraded"] is False
+            assert faults["chaos_proxy"]["drops"] + \
+                faults["chaos_proxy"]["timeouts"] > 0
+
+            # the same counters are scrapeable over the wire: the
+            # metrics probe needs no handshake and works mid-lifecycle
+            with RpcEndpoint(*train_addr, name="scraper",
+                             peer="server") as endpoint:
+                scraped = endpoint.request(
+                    MetricsRequest(requester="scraper")).metrics
+            counters = scraped["counters"]
+            assert counters["repro_rpc_retries_total"] > 0
+            assert counters["repro_trainer_feip_decrypts_total"] > 0
+            phase_hists = {
+                name: hist
+                for name, hist in scraped["histograms"].items()
+                if name.startswith("repro_phase_seconds")
+            }
+            assert phase_hists, "phase spans never reached the registry"
 
             RESULTS_DIR.mkdir(parents=True, exist_ok=True)
             payload = {
@@ -293,6 +315,18 @@ class TestChaosTraining:
             }
             (RESULTS_DIR / "CHAOS_fault_counters.json").write_text(
                 json.dumps(payload, indent=2, sort_keys=True))
+            # CI uploads this scrape as an artifact and asserts the
+            # fault counters it carries are nonzero
+            (RESULTS_DIR / "METRICS_chaos_run.json").write_text(
+                json.dumps({
+                    "scenario": "training_through_chaos_proxy",
+                    "counters": counters,
+                    "gauges": scraped["gauges"],
+                    "phase_histograms": {
+                        name: {"count": hist["count"], "sum": hist["sum"]}
+                        for name, hist in phase_hists.items()
+                    },
+                }, indent=2, sort_keys=True))
         finally:
             train_thread.stop()
             proxy_thread.stop()
