@@ -71,6 +71,11 @@ def parse_args(argv=None) -> argparse.Namespace:
         help="seed for the deterministic fault schedule -- the same "
              "seed and rate reproduce the same faults on the same "
              "exchanges")
+    parser.add_argument(
+        "--chunk-bytes", type=int, default=512,
+        help="deliver each upload as resumable fingerprinted chunks of "
+             "this size (a dropped client resumes at the last acked "
+             "chunk); 0 sends the legacy single-frame upload")
     return parser.parse_args(argv)
 
 
@@ -206,14 +211,15 @@ def main(argv=None) -> None:
 
     client_procs = []
     for i in range(N_CLIENTS):
-        proc = ctx.Process(
-            target=repro_cli,
-            args=(["client-upload", "--authority-port", str(auth_port),
-                   "--server-port", str(train_port),
-                   "--clinic", str(i), "--clinics", str(N_CLIENTS),
-                   "--samples", str(SAMPLES), "--features", str(FEATURES),
-                   "--workers", "2",
-                   "--seed", str(SEED)],))
+        upload_argv = ["client-upload", "--authority-port", str(auth_port),
+                       "--server-port", str(train_port),
+                       "--clinic", str(i), "--clinics", str(N_CLIENTS),
+                       "--samples", str(SAMPLES), "--features", str(FEATURES),
+                       "--workers", "2",
+                       "--seed", str(SEED)]
+        if args.chunk_bytes > 0:
+            upload_argv += ["--chunk-bytes", str(args.chunk_bytes)]
+        proc = ctx.Process(target=repro_cli, args=(upload_argv,))
         proc.start()
         client_procs.append(proc)
     try:

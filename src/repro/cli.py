@@ -32,6 +32,8 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+import json
+import os
 import random
 import signal
 import sys
@@ -191,6 +193,9 @@ def cmd_serve_train(args: argparse.Namespace) -> int:
         authority_timeout=args.authority_timeout,
         workers=args.workers,
         trace_file=args.trace_file,
+        quorum=args.quorum,
+        upload_deadline=args.upload_deadline,
+        model_out=args.model_out,
     )
 
     async def _run() -> int:
@@ -255,9 +260,14 @@ def cmd_client_upload(args: argparse.Namespace) -> int:
         normalize_features(shard.x, scale), shard.y, args.classes,
         name=name, rng=random.Random(args.seed + args.clinic),
         workers=args.workers, policy=policy,
+        chunk_bytes=args.chunk_bytes,
     )
     print(f"{name}: uploaded {result['n_samples']} encrypted samples "
           f"({result['upload_bytes']:,} bytes); server ack {result['ack']}")
+    if "chunks" in result:
+        chunks = result["chunks"]
+        print(f"  chunked upload: {chunks['sent']}/{chunks['count']} "
+              f"chunks sent (resumed from chunk {chunks['resumed_from']})")
     retry = result["retry"]
     if retry.get("retries") or retry.get("reconnects"):
         print(f"  transport weather: {retry['retries']} retries, "
@@ -269,7 +279,7 @@ def cmd_client_upload(args: argparse.Namespace) -> int:
 def cmd_metrics(args: argparse.Namespace) -> int:
     """Scrape any repro service's metrics/health over the wire."""
     from repro.obs.metrics import MetricsRegistry
-    from repro.rpc import RpcEndpoint
+    from repro.rpc import RpcEndpoint, RpcError
     from repro.rpc.messages import HealthRequest, MetricsRequest
 
     def scrape(endpoint) -> None:
@@ -289,16 +299,156 @@ def cmd_metrics(args: argparse.Namespace) -> int:
             print(f"  {name}: count={hist['count']} "
                   f"sum={hist['sum']:.3f}s")
 
+    failures = 0
+    iterations = 0
     try:
         with RpcEndpoint(args.host, args.port, name="metrics-cli",
-                         peer="service", timeout=args.timeout) as endpoint:
+                         peer="service", timeout=args.timeout,
+                         connect_timeout=args.timeout) as endpoint:
             while True:
-                scrape(endpoint)
-                if not args.watch:
-                    return 0
-                time.sleep(args.watch)
+                iterations += 1
+                delay = args.watch
+                try:
+                    scrape(endpoint)
+                    failures = 0
+                except RpcError as exc:
+                    # watch mode survives a scrape target that is down
+                    # or restarting (connection refused, timeouts): note
+                    # it on stderr and retry with capped backoff -- the
+                    # target coming back resumes the watch seamlessly
+                    if not args.watch:
+                        print(f"metrics scrape failed: {exc}",
+                              file=sys.stderr)
+                        return 1
+                    failures += 1
+                    delay = min(30.0, max(args.watch,
+                                          0.25 * 2 ** min(failures - 1, 7)))
+                    print(f"metrics scrape failed ({exc}); "
+                          f"retrying in {delay:.1f}s", file=sys.stderr)
+                else:
+                    if not args.watch:
+                        return 0
+                if args.watch_count is not None \
+                        and iterations >= args.watch_count:
+                    return 0 if failures == 0 else 1
+                time.sleep(delay)
     except KeyboardInterrupt:
         return 0
+
+
+def cmd_supervise(args: argparse.Namespace) -> int:
+    """Run authority + training server under a self-healing supervisor.
+
+    Both children are started from durable state (an authority key file
+    and a trainer checkpoint path), so a crashed -- even ``kill -9``'d
+    -- child is restarted *into the same job*: the authority re-derives
+    identical keys, the trainer resumes from its last checkpoint, and
+    the finished model is byte-identical to an uninterrupted run.
+    """
+    from repro.rpc import RpcError, fetch_status
+    from repro.rpc.retry import RetryPolicy
+    from repro.rpc.supervisor import (
+        ChildSpec,
+        Supervisor,
+        install_signal_handlers,
+        repro_argv,
+    )
+
+    if args.port == 0 or args.authority_port == 0:
+        raise SystemExit("supervise needs fixed --port/--authority-port "
+                         "(children must rebind the same address)")
+    if args.max_restarts < 1:
+        raise SystemExit("--max-restarts must be >= 1")
+    if not os.path.exists(args.authority_file):
+        config = CryptoNNConfig(security_bits=args.bits, scale=args.scale)
+        authority = TrustedAuthority(config, rng=random.Random(args.seed))
+        save_authority(authority, args.authority_file)
+        print(f"authority keys -> {args.authority_file} "
+              f"({args.bits}-bit group, scale {args.scale})", flush=True)
+
+    authority_spec = ChildSpec(
+        name="authority",
+        argv=repro_argv("serve-authority", "--host", args.host,
+                        "--port", str(args.authority_port),
+                        "--authority", args.authority_file,
+                        "--seed", str(args.seed)),
+        port=args.authority_port, host=args.host)
+    train_argv = repro_argv(
+        "serve-train", "--host", args.host, "--port", str(args.port),
+        "--authority-host", args.host,
+        "--authority-port", str(args.authority_port),
+        "--expected-clients", str(args.expected_clients),
+        "--hidden", str(args.hidden), "--epochs", str(args.epochs),
+        "--batch-size", str(args.batch_size),
+        "--learning-rate", str(args.learning_rate),
+        "--seed", str(args.seed),
+        "--checkpoint", args.checkpoint,
+        # --resume + --stay make restarts heal instead of restart: the
+        # job continues from the durable dataset/checkpoint, and the
+        # finished server keeps answering status/predict requests
+        "--resume", "--stay")
+    if args.checkpoint_every is not None:
+        train_argv += ["--checkpoint-every", str(args.checkpoint_every)]
+    if args.workers is not None:
+        train_argv += ["--workers", str(args.workers)]
+    if args.quorum is not None:
+        train_argv += ["--quorum", str(args.quorum)]
+    if args.upload_deadline is not None:
+        train_argv += ["--upload-deadline", str(args.upload_deadline)]
+    if args.model_out is not None:
+        train_argv += ["--model-out", args.model_out]
+    if args.authority_timeout is not None:
+        train_argv += ["--authority-timeout", str(args.authority_timeout)]
+    trainer_spec = ChildSpec(name="trainer", argv=train_argv,
+                             port=args.port, host=args.host)
+
+    supervisor = Supervisor(
+        [authority_spec, trainer_spec],
+        restart_policy=RetryPolicy(max_attempts=args.max_restarts + 1,
+                                   base_delay=0.2, max_delay=5.0,
+                                   jitter=False),
+        stable_seconds=args.stable_seconds,
+        poll_interval=args.poll_interval,
+        announce=lambda line: print(line, flush=True))
+    install_signal_handlers(supervisor)
+    exit_code = 0
+    try:
+        supervisor.start()
+        if args.exit_when_done:
+            last = {"state": None, "checked": 0.0}
+
+            def _job_done() -> bool:
+                now = time.monotonic()
+                if now - last["checked"] < 1.0:
+                    return False
+                last["checked"] = now
+                try:
+                    status = fetch_status((args.host, args.port),
+                                          name="supervisor", timeout=5.0)
+                except RpcError:
+                    return False
+                last["state"] = status.state
+                return status.state in ("done", "failed")
+
+            supervisor.run(until=_job_done)
+            if last["state"] == "failed":
+                exit_code = 1
+        else:
+            supervisor.run()
+        if supervisor.all_gave_up():
+            print("every child crash-looped past its restart budget; "
+                  "giving up", flush=True)
+            exit_code = 1
+    except KeyboardInterrupt:
+        pass
+    finally:
+        snapshot = supervisor.stats_snapshot()
+        supervisor.stop()
+        if args.stats_file:
+            with open(args.stats_file, "w", encoding="utf-8") as fh:
+                json.dump(snapshot, fh, indent=2, sort_keys=True)
+            print(f"supervisor stats -> {args.stats_file}", flush=True)
+    return exit_code
 
 
 def cmd_demo(args: argparse.Namespace) -> int:
@@ -436,6 +586,17 @@ def build_parser() -> argparse.ArgumentParser:
                    help="emit one JSONL span per training phase to "
                         "this file (phase histograms are scrapeable "
                         "via `repro metrics` either way)")
+    p.add_argument("--quorum", type=int,
+                   help="start training at this many shards once "
+                        "--upload-deadline expires instead of waiting "
+                        "for all --expected-clients; stragglers after "
+                        "the start get a clear rejection")
+    p.add_argument("--upload-deadline", type=float, metavar="SECONDS",
+                   help="straggler clock, armed when the first shard "
+                        "is accepted; required by --quorum")
+    p.add_argument("--model-out",
+                   help="write the final model weights (.npz, atomic) "
+                        "here after a successful run")
     p.set_defaults(func=cmd_serve_train)
 
     p = sub.add_parser("client-upload",
@@ -459,6 +620,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--retry-attempts", type=int,
                    help="total tries per request (default 4) under the "
                         "jittered exponential-backoff retry policy")
+    p.add_argument("--chunk-bytes", type=int,
+                   help="resumable chunked upload: split the encrypted "
+                        "shard into chunks of this many bytes with "
+                        "per-chunk acks, so a dropped connection "
+                        "resumes at the last acked chunk; omit for the "
+                        "single-frame upload")
     p.set_defaults(func=cmd_client_upload)
 
     p = sub.add_parser("metrics",
@@ -471,7 +638,65 @@ def build_parser() -> argparse.ArgumentParser:
                    help="Prometheus text exposition instead of the "
                         "human-readable summary")
     p.add_argument("--timeout", type=float, default=10.0)
+    p.add_argument("--watch-count", type=int, help=argparse.SUPPRESS)
     p.set_defaults(func=cmd_metrics)
+
+    p = sub.add_parser(
+        "supervise",
+        help="run authority + training server under a self-healing "
+             "supervisor (auto-restart with backoff, resume from "
+             "durable state)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--authority-port", type=int, required=True)
+    p.add_argument("--port", type=int, required=True,
+                   help="training server port (fixed, so restarted "
+                        "children rebind the same address)")
+    p.add_argument("--authority-file", required=True,
+                   help="authority key file; created on first run, "
+                        "reloaded on every (re)start so restarted "
+                        "authorities derive identical keys")
+    p.add_argument("--checkpoint", required=True,
+                   help="trainer checkpoint path; restarts resume the "
+                        "job from it bit-exactly")
+    p.add_argument("--checkpoint-every", type=int,
+                   help="write a trainer checkpoint every N batches")
+    p.add_argument("--expected-clients", type=int, default=1)
+    p.add_argument("--hidden", type=int, default=16)
+    p.add_argument("--epochs", type=int, default=3)
+    p.add_argument("--batch-size", type=int, default=20)
+    p.add_argument("--learning-rate", type=float, default=0.5)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--bits", type=int, default=32,
+                   help="group size when creating a fresh authority "
+                        "file; 256 = paper")
+    p.add_argument("--scale", type=int, default=100)
+    p.add_argument("--workers", type=int)
+    p.add_argument("--quorum", type=int,
+                   help="see serve-train --quorum")
+    p.add_argument("--upload-deadline", type=float, metavar="SECONDS",
+                   help="see serve-train --upload-deadline")
+    p.add_argument("--model-out",
+                   help="final model weights file (.npz) written by the "
+                        "trainer child on success")
+    p.add_argument("--authority-timeout", type=float,
+                   help="trainer child's per-request timeout on the "
+                        "authority link")
+    p.add_argument("--max-restarts", type=int, default=4,
+                   help="restarts per failure streak before the "
+                        "supervisor gives a child up (backoff between "
+                        "restarts is capped-exponential)")
+    p.add_argument("--stable-seconds", type=float, default=5.0,
+                   help="uptime after which a child's failure streak "
+                        "resets")
+    p.add_argument("--poll-interval", type=float, default=0.25)
+    p.add_argument("--stats-file",
+                   help="write a JSON supervision report (restarts, "
+                        "crashes, probe failures per child) here on "
+                        "exit")
+    p.add_argument("--exit-when-done", action="store_true",
+                   help="poll the trainer's train-status and exit once "
+                        "the job is done instead of supervising forever")
+    p.set_defaults(func=cmd_supervise)
 
     return parser
 

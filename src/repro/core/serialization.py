@@ -34,10 +34,35 @@ from repro.fe.keys import (
     FeipPublicKey,
 )
 from repro.mathutils.group import GroupParams
+from repro.mathutils.modarith import jacobi_symbol
 
 #: Fixed overhead of a batched key-request/response envelope: a 4-byte
 #: item count plus a 4-byte vector-length / flags field.
 BATCH_HEADER_BYTES = 8
+
+
+def validate_subgroup_element(value: int, params: GroupParams) -> None:
+    """Reject a wire integer that is not a member of the QR subgroup.
+
+    For a safe prime ``p = 2q + 1`` the order-``q`` subgroup is exactly
+    the set of quadratic residues, so membership reduces to a Jacobi
+    symbol -- O(log^2) instead of the O(log^3) ``pow(x, q, p)`` test --
+    cheap enough to run on every element of an untrusted ciphertext
+    upload.  An element outside the subgroup would make discrete-log
+    recovery fail (or, worse, silently decode garbage into the training
+    loop), so ingestion rejects it at the unpack boundary.
+
+    Raises:
+        ValueError: when ``value`` is out of range or a non-residue.
+    """
+    if not 0 < value < params.p:
+        raise ValueError(
+            f"group element {value} outside (0, p) for modulus of "
+            f"{params.p.bit_length()} bits")
+    if jacobi_symbol(value, params.p) != 1:
+        raise ValueError(
+            "group element is not in the prime-order subgroup "
+            "(quadratic non-residue)")
 
 
 def element_size_bytes(params: GroupParams) -> int:
@@ -276,10 +301,14 @@ def pack_feip_ciphertext(ct: FeipCiphertext, params: GroupParams) -> bytes:
         pack_element(c, params) for c in ct.ct)
 
 
-def unpack_feip_ciphertext(data: bytes, params: GroupParams) -> FeipCiphertext:
+def unpack_feip_ciphertext(data: bytes, params: GroupParams, *,
+                           validate: bool = False) -> FeipCiphertext:
     elements = [unpack_uint(c) for c in _chunks(data, element_size_bytes(params))]
     if not elements:
         raise ValueError("empty FEIP ciphertext payload")
+    if validate:
+        for element in elements:
+            validate_subgroup_element(element, params)
     return FeipCiphertext(ct0=elements[0], ct=tuple(elements[1:]))
 
 
@@ -288,10 +317,14 @@ def pack_febo_ciphertext(ct: FeboCiphertext, params: GroupParams) -> bytes:
     return pack_element(ct.cmt, params) + pack_element(ct.ct, params)
 
 
-def unpack_febo_ciphertext(data: bytes, params: GroupParams) -> FeboCiphertext:
+def unpack_febo_ciphertext(data: bytes, params: GroupParams, *,
+                           validate: bool = False) -> FeboCiphertext:
     elements = [unpack_uint(c) for c in _chunks(data, element_size_bytes(params))]
     if len(elements) != 2:
         raise ValueError("FEBO ciphertext payload must hold exactly 2 elements")
+    if validate:
+        for element in elements:
+            validate_subgroup_element(element, params)
     return FeboCiphertext(cmt=elements[0], ct=elements[1])
 
 

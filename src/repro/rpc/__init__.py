@@ -24,11 +24,13 @@ Per-iteration key requests are batched into one framed envelope by
 default (``CryptoNNConfig.batch_key_requests``), collapsing the
 k x n x |w| request fan-out into a single round trip.
 
-Fault tolerance lives in two sibling modules: :mod:`repro.rpc.retry`
+Fault tolerance lives in three sibling modules: :mod:`repro.rpc.retry`
 (the runtime-wide :class:`RetryPolicy` / :class:`RetryStats`
-vocabulary) and :mod:`repro.rpc.chaos` (the deterministic
-fault-injecting :class:`ChaosProxy` the test suite and the loopback
-example run training through).
+vocabulary), :mod:`repro.rpc.chaos` (the deterministic fault-injecting
+:class:`ChaosProxy` the test suite and the loopback example run
+training through), and :mod:`repro.rpc.supervisor` (the self-healing
+process supervisor restarting crashed or wedged services into their
+durable state).
 """
 
 from repro.rpc.authority_service import AuthorityService, run_authority_service
@@ -42,16 +44,21 @@ from repro.rpc.client import (
 )
 from repro.rpc.client_agent import (
     fetch_status,
+    plan_shard_chunks,
     request_checkpoint,
+    upload_planned_chunks,
     upload_shard,
 )
-from repro.rpc.framing import MAX_FRAME_BYTES, FrameError
+from repro.rpc.framing import MAX_FRAME_BYTES, MAX_HEADER_BYTES, FrameError
 from repro.rpc.messages import (
     HealthRequest,
     HealthResponse,
     MetricsRequest,
     MetricsResponse,
+    ShardChunk,
+    ShardResumeQuery,
     WireContext,
+    shard_fingerprint,
 )
 from repro.rpc.retry import (
     DEFAULT_POLICY,
@@ -63,6 +70,7 @@ from repro.rpc.retry import (
     merge_stats,
 )
 from repro.rpc.runtime import ServiceThread, free_port, wait_for_port
+from repro.rpc.supervisor import ChildSpec, Supervisor, repro_argv
 from repro.rpc.training_service import (
     TrainingService,
     build_mlp,
@@ -74,6 +82,7 @@ __all__ = [
     "ChaosConfig",
     "ChaosProxy",
     "ChaosSchedule",
+    "ChildSpec",
     "DEFAULT_POLICY",
     "SERVICE_POLICY",
     "STAT_KEYS",
@@ -85,6 +94,7 @@ __all__ = [
     "HealthRequest",
     "HealthResponse",
     "MAX_FRAME_BYTES",
+    "MAX_HEADER_BYTES",
     "MetricsRequest",
     "MetricsResponse",
     "RemoteAuthority",
@@ -93,14 +103,21 @@ __all__ = [
     "RpcRemoteError",
     "RpcTimeoutError",
     "ServiceThread",
+    "ShardChunk",
+    "ShardResumeQuery",
+    "Supervisor",
     "TrainingService",
     "WireContext",
     "build_mlp",
     "fetch_status",
     "free_port",
+    "plan_shard_chunks",
+    "repro_argv",
     "request_checkpoint",
     "run_authority_service",
     "run_training",
+    "shard_fingerprint",
+    "upload_planned_chunks",
     "upload_shard",
     "wait_for_port",
 ]

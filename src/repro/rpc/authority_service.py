@@ -46,8 +46,14 @@ class AuthorityService(FramedService):
     entity_name = protocol.AUTHORITY
 
     def __init__(self, authority: TrustedAuthority, host: str = "127.0.0.1",
-                 port: int = 0, *, max_frame_bytes: int = MAX_FRAME_BYTES):
-        super().__init__(host, port, max_frame_bytes=max_frame_bytes)
+                 port: int = 0, *, max_frame_bytes: int = MAX_FRAME_BYTES,
+                 max_requests_per_connection: int | None = None,
+                 max_inflight: int | None = None,
+                 max_connections: int | None = None):
+        super().__init__(
+            host, port, max_frame_bytes=max_frame_bytes,
+            max_requests_per_connection=max_requests_per_connection,
+            max_inflight=max_inflight, max_connections=max_connections)
         self.authority = authority
         # a long-running service must also bound the *entity's* logical
         # accounting log, which grows two records per key exchange; the

@@ -20,12 +20,83 @@ from repro.core.entities import Client
 from repro.data.preprocess import LabelMapper
 from repro.rpc.client import RemoteAuthority, RpcEndpoint
 from repro.rpc.messages import (
+    KIND_SHARD_CHUNK,
     Ack,
     EncryptedDataUpload,
+    ShardChunk,
+    ShardResumeQuery,
     TrainCheckpointRequest,
     TrainStatusRequest,
+    shard_fingerprint,
 )
 from repro.rpc.retry import DEFAULT_POLICY, RetryPolicy, merge_stats
+
+
+def plan_shard_chunks(dataset, name: str, ctx, chunk_bytes: int,
+                      stats: dict | None = None
+                      ) -> tuple[dict, str, list[bytes]]:
+    """Split one encrypted shard into a resumable chunk plan.
+
+    Serializes the upload exactly as the single-frame path would (same
+    header, same body bytes), fingerprints it, and slices the body into
+    ``chunk_bytes``-sized pieces.  The returned ``(meta, fingerprint,
+    chunks)`` triple is everything :func:`upload_planned_chunks` needs;
+    keeping the plan lets a test (or a crashed-and-restarted client)
+    resume the very same upload instead of re-encrypting.
+    """
+    if chunk_bytes < 1:
+        raise ValueError("chunk_bytes must be >= 1")
+    msg = EncryptedDataUpload(dataset=dataset, client_name=name, stats=stats)
+    meta = msg.header()
+    body = msg.body(ctx)
+    fingerprint = shard_fingerprint(meta, body)
+    chunks = [body[i:i + chunk_bytes]
+              for i in range(0, len(body), chunk_bytes)] or [b""]
+    return meta, fingerprint, chunks
+
+
+def upload_planned_chunks(server: RpcEndpoint, *, name: str, meta: dict,
+                          fingerprint: str, chunks: list[bytes],
+                          start_probe: bool = True) -> dict:
+    """Send a chunk plan, resuming past whatever the server already has.
+
+    Opens with a ``shard-resume`` query so a reconnecting client never
+    re-sends an acked chunk (and sends nothing at all when the whole
+    shard already landed), then streams the remaining chunks in order.
+    Chunk 0 carries the upload metadata; each chunk is individually
+    acknowledged, so the resume offset advances monotonically even if
+    the connection dies again mid-stream.
+    """
+    count = len(chunks)
+    next_index = 0
+    resumed_from = 0
+    if start_probe:
+        probe = server.request(
+            ShardResumeQuery(fingerprint=fingerprint, count=count,
+                             client_name=name))
+        if not isinstance(probe, Ack):
+            raise TypeError(f"expected an ack, got {probe.kind!r}")
+        if probe.info.get("accepted"):
+            return {"name": name, "count": count, "sent": 0,
+                    "resumed_from": count, "ack": probe.info}
+        next_index = int(probe.info.get("next_index", 0))
+        resumed_from = next_index
+    ack = None
+    sent = 0
+    while next_index < count:
+        ack = server.request(ShardChunk(
+            fingerprint=fingerprint, index=next_index, count=count,
+            chunk=chunks[next_index],
+            meta=meta if next_index == 0 else None, client_name=name))
+        if not isinstance(ack, Ack):
+            raise TypeError(f"expected an ack, got {ack.kind!r}")
+        sent += 1
+        next_index = int(ack.info.get("next_index", next_index + 1))
+    if ack is None:  # count chunks were already all on the server
+        ack = server.request(ShardResumeQuery(
+            fingerprint=fingerprint, count=count, client_name=name))
+    return {"name": name, "count": count, "sent": sent,
+            "resumed_from": resumed_from, "ack": ack.info}
 
 
 def upload_shard(authority_address: tuple[str, int],
@@ -36,7 +107,8 @@ def upload_shard(authority_address: tuple[str, int],
                  rng: random.Random | None = None,
                  workers: int | None = None,
                  timeout: float = 120.0,
-                 policy: RetryPolicy | None = None) -> dict:
+                 policy: RetryPolicy | None = None,
+                 chunk_bytes: int | None = None) -> dict:
     """Encrypt one shard and deliver it to the training server.
 
     ``workers`` parallelizes the local encryption the same way the
@@ -50,6 +122,12 @@ def upload_shard(authority_address: tuple[str, int],
     server); it defaults to :data:`~repro.rpc.retry.DEFAULT_POLICY`.
     Re-uploading after a transport failure is safe -- the server keys
     shards by client name, so a resent upload overwrites, not appends.
+
+    ``chunk_bytes`` switches the delivery to the resumable chunked
+    protocol: the serialized upload body is split into fingerprinted
+    chunks with per-chunk acks, and a dropped connection resumes at the
+    last acked chunk instead of re-sending the whole shard.  ``None``
+    keeps the legacy single-frame upload.
 
     Returns a summary with the server's acknowledgement, the byte count
     that crossed each connection, and the merged fault/retry counters
@@ -68,17 +146,29 @@ def upload_shard(authority_address: tuple[str, int],
                         if client.engine is not None else None)
         with RpcEndpoint(*server_address, name=name, peer=protocol.SERVER,
                          timeout=timeout, policy=policy) as server:
-            ack = server.request(
-                EncryptedDataUpload(dataset=dataset, client_name=name,
-                                    stats=engine_stats),
-                authority.wire_ctx)
-            if not isinstance(ack, Ack):
-                raise TypeError(f"expected an ack, got {ack.kind!r}")
-            upload_bytes = server.traffic.total_bytes(
-                sender=name, kind=protocol.KIND_ENCRYPTED_DATA)
+            chunked = None
+            if chunk_bytes is not None:
+                meta, fingerprint, chunks = plan_shard_chunks(
+                    dataset, name, authority.wire_ctx, chunk_bytes,
+                    stats=engine_stats)
+                chunked = upload_planned_chunks(
+                    server, name=name, meta=meta, fingerprint=fingerprint,
+                    chunks=chunks)
+                ack = Ack(info=chunked["ack"])
+                upload_bytes = server.traffic.total_bytes(
+                    sender=name, kind=KIND_SHARD_CHUNK)
+            else:
+                ack = server.request(
+                    EncryptedDataUpload(dataset=dataset, client_name=name,
+                                        stats=engine_stats),
+                    authority.wire_ctx)
+                if not isinstance(ack, Ack):
+                    raise TypeError(f"expected an ack, got {ack.kind!r}")
+                upload_bytes = server.traffic.total_bytes(
+                    sender=name, kind=protocol.KIND_ENCRYPTED_DATA)
             retry_report = merge_stats(authority.endpoint.stats.snapshot(),
                                        server.stats.snapshot())
-        return {
+        summary = {
             "name": name,
             "n_samples": len(dataset),
             "ack": ack.info,
@@ -91,6 +181,10 @@ def upload_shard(authority_address: tuple[str, int],
                 sender=name, receiver=protocol.AUTHORITY),
             "retry": retry_report,
         }
+        if chunked is not None:
+            summary["chunks"] = {key: chunked[key] for key in
+                                 ("count", "sent", "resumed_from")}
+        return summary
 
 
 def request_checkpoint(server_address: tuple[str, int], *,

@@ -25,6 +25,13 @@ from typing import Any
 #: 256-bit group with thousands of samples stays well below this.
 MAX_FRAME_BYTES = 128 * 1024 * 1024
 
+#: Ceiling on the JSON header alone, independent of the frame limit.
+#: Headers carry kind + counts + small metadata (the largest legitimate
+#: one is an upload's eval-label list); a corrupted or hostile header
+#: length must not make either side -- services *or* clients -- try to
+#: json-decode tens of megabytes.
+MAX_HEADER_BYTES = 8 * 1024 * 1024
+
 _LEN = struct.Struct(">I")
 
 
@@ -56,6 +63,10 @@ def decode_frame_payload(payload: bytes) -> tuple[dict[str, Any], bytes]:
     if len(payload) < 4:
         raise FrameError("frame payload shorter than its header prefix")
     header_len = _LEN.unpack(payload[:4])[0]
+    if header_len > MAX_HEADER_BYTES:
+        raise FrameError(
+            f"frame header of {header_len} bytes exceeds limit "
+            f"{MAX_HEADER_BYTES}")
     if header_len > len(payload) - 4:
         raise FrameError(
             f"header length {header_len} exceeds frame payload "

@@ -16,6 +16,8 @@ records is what crossed the socket.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import json
 from typing import Any, ClassVar
 
 import numpy as np
@@ -38,6 +40,8 @@ from repro.mathutils.group import GroupParams
 
 # Control kinds (not part of the paper's protocol accounting).
 KIND_PUBLIC_PARAMS_RESPONSE = "public-params-response"
+KIND_SHARD_CHUNK = "shard-chunk"
+KIND_SHARD_RESUME = "shard-resume"
 KIND_ACK = "ack"
 KIND_ERROR = "error"
 KIND_TRAIN_START = "train-start"
@@ -407,6 +411,13 @@ class EncryptedDataUpload:
         n = int(header["n"])
         n_features = int(header["n_features"])
         num_classes = int(header["num_classes"])
+        scale = int(header["scale"])
+        # shape sanity BEFORE any size arithmetic: a hostile header must
+        # fail with a clear reason, not an overflow or a giant allocation
+        if n < 0 or n_features < 1 or num_classes < 1 or scale < 1:
+            raise MessageError(
+                f"implausible upload shape: n={n} features={n_features} "
+                f"classes={num_classes} scale={scale}")
         elem = ser.element_size_bytes(params)
         febo_size = ser.febo_ciphertext_wire_size(params)
         expected = ser.encrypted_tabular_wire_size(
@@ -423,18 +434,24 @@ class EncryptedDataUpload:
             offset += size
             return chunk
 
+        # validate=True: every element of an untrusted upload is checked
+        # for subgroup membership (cheap Jacobi test) so garbage
+        # ciphertexts are rejected at the decode boundary instead of
+        # poisoning the training loop
         samples = []
         for _ in range(n):
             ip = ser.unpack_feip_ciphertext(
-                take((1 + n_features) * elem), params)
-            bo = tuple(ser.unpack_febo_ciphertext(take(febo_size), params)
+                take((1 + n_features) * elem), params, validate=True)
+            bo = tuple(ser.unpack_febo_ciphertext(take(febo_size), params,
+                                                  validate=True)
                        for _ in range(n_features))
             samples.append(EncryptedSample(features_ip=ip, features_bo=bo))
         labels = []
         for _ in range(n):
             ip = ser.unpack_feip_ciphertext(
-                take((1 + num_classes) * elem), params)
-            bo = tuple(ser.unpack_febo_ciphertext(take(febo_size), params)
+                take((1 + num_classes) * elem), params, validate=True)
+            bo = tuple(ser.unpack_febo_ciphertext(take(febo_size), params,
+                                                  validate=True)
                        for _ in range(num_classes))
             labels.append(EncryptedLabel(onehot_ip=ip, onehot_bo=bo))
         eval_labels = header.get("eval_labels")
@@ -449,6 +466,115 @@ class EncryptedDataUpload:
                    client_name=str(header.get("from", protocol.CLIENT)),
                    stats=({k: int(v) for k, v in stats.items()}
                           if stats else None))
+
+
+# -- resumable chunked uploads ---------------------------------------------------
+
+#: Hard cap on chunks per shard: a hostile ``count`` must not reserve
+#: an unbounded assembly table.  1M chunks of even 1 KiB is already far
+#: past any legitimate upload.
+MAX_SHARD_CHUNKS = 1_048_576
+
+
+def shard_fingerprint(meta: dict[str, Any], body: bytes) -> str:
+    """Content fingerprint of one encrypted shard (meta + body bytes).
+
+    The client computes it once over the exact bytes it will chunk; the
+    server recomputes it over the reassembled bytes, so a corrupted or
+    mixed-up chunk stream can never be accepted as a shard.  It also
+    keys idempotency: re-uploading the same shard (same fingerprint)
+    after a lost ack is acknowledged as a duplicate, never re-trained.
+    """
+    canonical = json.dumps(meta, sort_keys=True,
+                           separators=(",", ":")).encode("utf-8")
+    digest = hashlib.sha256()
+    digest.update(canonical)
+    digest.update(b"\x00")
+    digest.update(body)
+    return digest.hexdigest()
+
+
+@_register(KIND_SHARD_CHUNK)
+@dataclasses.dataclass
+class ShardChunk:
+    """One fingerprinted slice of an ``encrypted-data`` body.
+
+    The chunk body is an opaque byte range of the full upload body, so
+    no decode context is needed until the final chunk completes the
+    assembly.  ``meta`` (the upload's ``encrypted-data`` header fields)
+    rides only on chunk 0; a resumed upload starts past it and the
+    server already holds the meta from the first attempt.
+    """
+
+    fingerprint: str
+    index: int
+    count: int
+    chunk: bytes = b""
+    meta: dict[str, Any] | None = None
+    client_name: str = protocol.CLIENT
+
+    kind: ClassVar[str] = KIND_SHARD_CHUNK
+
+    def header(self) -> dict[str, Any]:
+        header = {"fp": self.fingerprint, "index": self.index,
+                  "count": self.count, "from": self.client_name}
+        if self.meta is not None:
+            header["meta"] = self.meta
+        return header
+
+    def body(self, ctx: WireContext | None = None) -> bytes:
+        return self.chunk
+
+    @classmethod
+    def from_wire(cls, header, body, ctx):
+        index = int(header["index"])
+        count = int(header["count"])
+        if not 1 <= count <= MAX_SHARD_CHUNKS:
+            raise MessageError(
+                f"implausible chunk count {count} (limit "
+                f"{MAX_SHARD_CHUNKS})")
+        if not 0 <= index < count:
+            raise MessageError(
+                f"chunk index {index} outside [0, {count})")
+        meta = header.get("meta")
+        return cls(fingerprint=str(header["fp"]), index=index, count=count,
+                   chunk=body, meta=dict(meta) if meta is not None else None,
+                   client_name=str(header.get("from", protocol.CLIENT)))
+
+
+@_register(KIND_SHARD_RESUME)
+@dataclasses.dataclass
+class ShardResumeQuery:
+    """Where did my upload get to?  (client -> training server).
+
+    Answered with an :class:`Ack` whose info carries ``next_index`` (the
+    first chunk the server does not hold), ``received``, and
+    ``accepted`` (the shard with this fingerprint already landed whole,
+    so nothing needs sending at all).
+    """
+
+    fingerprint: str
+    count: int
+    client_name: str = protocol.CLIENT
+
+    kind: ClassVar[str] = KIND_SHARD_RESUME
+
+    def header(self) -> dict[str, Any]:
+        return {"fp": self.fingerprint, "count": self.count,
+                "from": self.client_name}
+
+    def body(self, ctx: WireContext | None = None) -> bytes:
+        return b""
+
+    @classmethod
+    def from_wire(cls, header, body, ctx):
+        count = int(header["count"])
+        if not 1 <= count <= MAX_SHARD_CHUNKS:
+            raise MessageError(
+                f"implausible chunk count {count} (limit "
+                f"{MAX_SHARD_CHUNKS})")
+        return cls(fingerprint=str(header["fp"]), count=count,
+                   client_name=str(header.get("from", protocol.CLIENT)))
 
 
 # -- control messages ------------------------------------------------------------

@@ -45,6 +45,16 @@ from repro.rpc.messages import (
 OBS_KINDS = frozenset({KIND_SERVICE_METRICS, KIND_SERVICE_HEALTH})
 
 
+@contextlib.asynccontextmanager
+async def _maybe_acquire(sem: asyncio.Semaphore | None):
+    """``async with`` over an optional semaphore."""
+    if sem is None:
+        yield
+        return
+    async with sem:
+        yield
+
+
 class FramedService:
     """An asyncio TCP server answering framed request/response messages."""
 
@@ -63,17 +73,35 @@ class FramedService:
     MAX_RECORDS_PER_LOG = 4096
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
-                 max_frame_bytes: int = MAX_FRAME_BYTES):
+                 max_frame_bytes: int = MAX_FRAME_BYTES,
+                 max_requests_per_connection: int | None = None,
+                 max_inflight: int | None = None,
+                 max_connections: int | None = None):
         self.host = host
         self.port = port
         self.max_frame_bytes = max_frame_bytes
+        #: per-connection request quota: past it the connection gets one
+        #: final ``QuotaExceeded`` error frame and is closed, so a
+        #: hostile peer cannot monopolize the service from one socket
+        self.max_requests_per_connection = max_requests_per_connection
+        #: backpressure bound on concurrently *processing* requests
+        #: (decode + dispatch + encode); observability probes bypass it
+        #: so health stays answerable under load
+        self.max_inflight = max_inflight
+        #: accept cap: connections past it are closed immediately, so a
+        #: connection flood cannot exhaust tasks/file descriptors
+        self.max_connections = max_connections
         #: per-connection traffic logs, keyed ``"<sender>#<peer-port>"``;
         #: body byte counts equal the serialization wire sizes.
         self.connection_traffic: dict[str, TrafficLog] = {}
         self.requests_served = 0
+        self.quota_rejections = 0
+        self.connection_rejections = 0
+        self.backpressure_waits = 0
         self.address: tuple[str, int] | None = None
         self._server: asyncio.AbstractServer | None = None
         self._conn_tasks: set[asyncio.Task] = set()
+        self._inflight_sem: asyncio.Semaphore | None = None
         GLOBAL_REGISTRY.register_collector(
             f"service.{id(self)}", self._obs_collect)
 
@@ -91,6 +119,11 @@ class FramedService:
             "repro_service_traffic_bytes_total": total_bytes,
             "repro_service_traffic_messages_total": total_messages,
             "repro_service_connection_logs": len(self.connection_traffic),
+            "repro_service_quota_rejections_total": self.quota_rejections,
+            "repro_service_connection_rejections_total":
+                self.connection_rejections,
+            "repro_service_backpressure_waits_total":
+                self.backpressure_waits,
         }
 
     def _health(self) -> HealthResponse:
@@ -105,6 +138,14 @@ class FramedService:
         if isinstance(msg, HealthRequest):
             return self._health()
         raise TypeError(f"not an observability message: {msg!r}")
+
+    def _inflight_semaphore(self) -> asyncio.Semaphore | None:
+        """Lazily create the backpressure semaphore on the serving loop."""
+        if self.max_inflight is None:
+            return None
+        if self._inflight_sem is None:
+            self._inflight_sem = asyncio.Semaphore(self.max_inflight)
+        return self._inflight_sem
 
     # -- subclass hooks ------------------------------------------------------
     async def _wire_context(self) -> WireContext | None:
@@ -148,17 +189,43 @@ class FramedService:
     # -- connection handling -------------------------------------------------
     async def _handle_connection(self, reader: asyncio.StreamReader,
                                  writer: asyncio.StreamWriter) -> None:
+        if self.max_connections is not None \
+                and len(self._conn_tasks) >= self.max_connections:
+            # flood defense: past the accept cap, close immediately --
+            # existing connections (including health probes) keep working
+            self.connection_rejections += 1
+            with contextlib.suppress(Exception):
+                writer.close()
+            with contextlib.suppress(BaseException):
+                await writer.wait_closed()
+            return
         task = asyncio.current_task()
         if task is not None:
             self._conn_tasks.add(task)
         peername = writer.get_extra_info("peername") or ("?", 0)
         log: TrafficLog | None = None
+        requests_on_connection = 0
         try:
             while True:
                 frame = await read_frame(reader, self.max_frame_bytes)
                 if frame is None:
                     break
                 header, body = frame
+                requests_on_connection += 1
+                if self.max_requests_per_connection is not None \
+                        and requests_on_connection > \
+                        self.max_requests_per_connection:
+                    # one clear error frame, then hang up: the peer
+                    # learns why instead of seeing a silent reset
+                    self.quota_rejections += 1
+                    err_header, err_body = encode_message(ErrorMessage(
+                        message=f"connection exceeded its "
+                                f"{self.max_requests_per_connection}"
+                                f"-request quota",
+                        error_type="QuotaExceeded"))
+                    err_header["seq"] = header.get("seq")
+                    await write_frame(writer, err_header, err_body)
+                    break
                 sender = str(header.get("from", f"{peername[0]}"))
                 if log is None:
                     label = f"{sender}#{peername[1]}"
@@ -175,19 +242,24 @@ class FramedService:
                     if header.get("kind") in OBS_KINDS:
                         # metrics/health are context-free and answered
                         # here, so probes work on every service without
-                        # a handshake and without entering the
-                        # (possibly busy) subclass dispatch path
+                        # a handshake, without entering the (possibly
+                        # busy) subclass dispatch path, and without
+                        # queueing behind the backpressure bound
                         msg = decode_message(header, body, None)
                         resp = self._dispatch_obs(msg)
                     else:
-                        ctx = await self._wire_context_for(header)
-                        # decode/encode off-loop: a paper-scale upload
-                        # body unpacks hundreds of thousands of
-                        # integers, which must not stall every other
-                        # connection
-                        msg = await asyncio.to_thread(
-                            decode_message, header, body, ctx)
-                        resp = await self._dispatch(msg, sender)
+                        sem = self._inflight_semaphore()
+                        if sem is not None and sem.locked():
+                            self.backpressure_waits += 1
+                        async with _maybe_acquire(sem):
+                            ctx = await self._wire_context_for(header)
+                            # decode/encode off-loop: a paper-scale
+                            # upload body unpacks hundreds of thousands
+                            # of integers, which must not stall every
+                            # other connection
+                            msg = await asyncio.to_thread(
+                                decode_message, header, body, ctx)
+                            resp = await self._dispatch(msg, sender)
                 except asyncio.CancelledError:
                     raise
                 except Exception as exc:

@@ -42,6 +42,7 @@ from repro.core.checkpoint import (
     load_encrypted_tabular,
     npz_path,
     save_encrypted_tabular,
+    save_model_weights,
 )
 from repro.core.config import CryptoNNConfig
 from repro.core.cryptonn import CryptoNNTrainer
@@ -59,11 +60,14 @@ from repro.rpc.messages import (
     HealthResponse,
     PredictRequest,
     PredictResponse,
+    ShardChunk,
+    ShardResumeQuery,
     TrainCheckpointRequest,
     TrainStart,
     TrainStatus,
     TrainStatusRequest,
     WireContext,
+    shard_fingerprint,
 )
 from repro.rpc.retry import SERVICE_POLICY, RetryPolicy
 from repro.rpc.service import FramedService
@@ -72,12 +76,41 @@ from repro.obs.tracing import GLOBAL_TRACER
 
 
 #: Message kinds a training server answers without group parameters.
+#: Shard chunks are here too: their bodies are opaque byte ranges, so
+#: decoding them needs no group widths -- only the final assembly does.
 _CTX_FREE_KINDS = frozenset({
     messages_mod.KIND_TRAIN_START,
     messages_mod.KIND_TRAIN_STATUS,
     messages_mod.KIND_TRAIN_CHECKPOINT,
     messages_mod.KIND_PREDICT_REQUEST,
+    messages_mod.KIND_SHARD_CHUNK,
+    messages_mod.KIND_SHARD_RESUME,
 })
+
+
+@dataclasses.dataclass
+class _ShardAssembly:
+    """Server-side state of one in-flight chunked upload."""
+
+    fingerprint: str
+    count: int
+    meta: dict
+    chunks: dict[int, bytes] = dataclasses.field(default_factory=dict)
+    total_bytes: int = 0
+
+    @property
+    def complete(self) -> bool:
+        return len(self.chunks) == self.count
+
+    def next_index(self) -> int:
+        """First chunk index not yet received (resume offset)."""
+        for i in range(self.count):
+            if i not in self.chunks:
+                return i
+        return self.count
+
+    def assemble(self) -> bytes:
+        return b"".join(self.chunks[i] for i in range(self.count))
 
 
 def _natural_key(name: str) -> list:
@@ -151,8 +184,17 @@ class TrainingService(FramedService):
                  max_frame_bytes: int = MAX_FRAME_BYTES,
                  workers: int | None = None,
                  trace_file: str | None = None,
-                 chaos_proxy=None):
-        super().__init__(host, port, max_frame_bytes=max_frame_bytes)
+                 chaos_proxy=None,
+                 quorum: int | None = None,
+                 upload_deadline: float | None = None,
+                 model_out: str | None = None,
+                 max_requests_per_connection: int | None = None,
+                 max_inflight: int | None = None,
+                 max_connections: int | None = None):
+        super().__init__(
+            host, port, max_frame_bytes=max_frame_bytes,
+            max_requests_per_connection=max_requests_per_connection,
+            max_inflight=max_inflight, max_connections=max_connections)
         self.authority_address = (authority_host, authority_port)
         #: per-request timeout on the authority link; lower it when a
         #: chaos proxy may stall exchanges so the stall converts into a
@@ -181,6 +223,25 @@ class TrainingService(FramedService):
         if resume and checkpoint_path is None:
             raise ValueError("resume=True requires checkpoint_path")
 
+        #: straggler policy: start once ``quorum`` shards have landed
+        #: AND the upload deadline (armed at the first accepted shard)
+        #: has expired -- or immediately at ``expected_clients``.  The
+        #: default quorum equals ``expected_clients`` (wait for all).
+        self.quorum = expected_clients if quorum is None else quorum
+        if not 1 <= self.quorum <= expected_clients:
+            raise ValueError(
+                f"quorum must be in [1, {expected_clients}], "
+                f"got {self.quorum}")
+        if upload_deadline is not None and upload_deadline <= 0:
+            raise ValueError("upload_deadline must be > 0 seconds")
+        self.upload_deadline = upload_deadline
+        if self.quorum < expected_clients and upload_deadline is None:
+            raise ValueError(
+                "a quorum below expected_clients requires upload_deadline")
+        #: where to write the final model weights after a successful run
+        #: (atomic .npz; lets out-of-process drivers compare weights)
+        self.model_out = model_out
+
         #: pooled decryption during training (None = serial); pooled
         #: and serial paths are numerically identical, so this only
         #: changes speed, never the trajectory
@@ -204,6 +265,16 @@ class TrainingService(FramedService):
         self.last_checkpoint: dict | None = None
 
         self._shards: list[tuple[str, EncryptedTabularDataset]] = []
+        #: in-flight chunked uploads, keyed by client name; bounded so
+        #: abandoned partial uploads cannot hold memory forever
+        self._uploads: dict[str, _ShardAssembly] = {}
+        self.max_pending_uploads = max(16, expected_clients * 2)
+        #: fingerprint of the shard each client last completed -- lets a
+        #: client that lost the final ack learn its upload already
+        #: landed without re-sending a single chunk
+        self._accepted_fps: dict[str, str] = {}
+        self._deadline_passed = False
+        self._deadline_handle: asyncio.TimerHandle | None = None
         self._resuming = False
         self._checkpoint_requested = threading.Event()
         self._done = asyncio.Event()
@@ -245,6 +316,9 @@ class TrainingService(FramedService):
         # attribute stays set so the training thread cannot race in a
         # fresh connection via its None-fallback.
         self._stopping = True
+        if self._deadline_handle is not None:
+            self._deadline_handle.cancel()
+            self._deadline_handle = None
         if self.authority is not None:
             self.authority.close()
         if self._train_task is not None and not self._train_task.done():
@@ -289,42 +363,192 @@ class TrainingService(FramedService):
             return None
         return await self._wire_context()
 
+    # -- uploads -------------------------------------------------------------
+    def _late_upload(self, client_name: str, received: int) -> Ack:
+        """Answer an upload arriving after ``waiting`` ended: duplicate
+        resends are acknowledged, genuine stragglers get a clear
+        rejection naming the policy that left them behind."""
+        if (self._resuming
+                or any(name == client_name for name, _ in self._shards)):
+            # the client's earlier upload was accepted but its ack got
+            # lost; training may already be running -- acknowledge the
+            # resend instead of failing it.  A --resume restart has no
+            # in-memory shard list (the merged dataset came off disk),
+            # so every resend against a resumed job is by definition a
+            # duplicate
+            return Ack(info={"received": received,
+                             "clients": len(self._shards),
+                             "expected": self.expected_clients,
+                             "duplicate": True})
+        if self._deadline_passed:
+            GLOBAL_REGISTRY.counter("repro_upload_stragglers_total").inc()
+            raise RuntimeError(
+                f"cannot accept uploads in state {self.state!r}: the "
+                f"{self.upload_deadline}s upload deadline passed and "
+                f"training started at quorum {self.quorum}/"
+                f"{self.expected_clients}; resubmit to a later run")
+        raise RuntimeError(
+            f"cannot accept uploads in state {self.state!r}")
+
+    def _accept_shard(self, client_name: str,
+                      dataset: EncryptedTabularDataset, stats: dict,
+                      fingerprint: str | None = None) -> Ack:
+        """Record one complete shard (single-frame or assembled)."""
+        # last write per client name wins, so a client resending after
+        # a lost ack (transport retry) stays idempotent
+        self._shards = [(name, shard) for name, shard in self._shards
+                        if name != client_name]
+        self._shards.append((client_name, dataset))
+        self._uploads.pop(client_name, None)
+        if fingerprint is not None:
+            self._accepted_fps[client_name] = fingerprint
+        if stats:
+            # client-side encryption-engine counters ride along with
+            # the upload; folding them here puts the encrypt half of
+            # the cost profile on this server's scrapeable surface
+            for key, value in stats.items():
+                GLOBAL_REGISTRY.counter(
+                    f"repro_client_engine_{key}_total").inc(value)
+        self._arm_upload_deadline()
+        self._maybe_start()
+        return Ack(info={"received": len(dataset),
+                         "clients": len(self._shards),
+                         "expected": self.expected_clients,
+                         "quorum": self.quorum})
+
+    def _arm_upload_deadline(self) -> None:
+        """Start the straggler clock at the first accepted shard."""
+        if self.upload_deadline is None or self._deadline_handle is not None \
+                or self._deadline_passed:
+            return
+        self._deadline_handle = asyncio.get_running_loop().call_later(
+            self.upload_deadline, self._upload_deadline_expired)
+
+    def _upload_deadline_expired(self) -> None:
+        self._deadline_passed = True
+        self._maybe_start()
+
+    def _maybe_start(self) -> None:
+        """Start training at full attendance, or at quorum once the
+        upload deadline has expired."""
+        if self.state != "waiting":
+            return
+        if len(self._shards) >= self.expected_clients or (
+                self._deadline_passed and len(self._shards) >= self.quorum):
+            self._start_training()
+
+    def _chunk_assembly_for(self, msg: ShardChunk) -> _ShardAssembly:
+        """Find or create the in-flight assembly this chunk belongs to."""
+        asm = self._uploads.get(msg.client_name)
+        if asm is not None and asm.fingerprint != msg.fingerprint:
+            # the client restarted with different data; drop the stale
+            # partial and treat this as a fresh upload
+            self._uploads.pop(msg.client_name, None)
+            asm = None
+        if asm is None:
+            if msg.index != 0 or msg.meta is None:
+                raise RuntimeError(
+                    f"no upload in progress for {msg.client_name!r} with "
+                    f"fingerprint {msg.fingerprint[:16]}...; restart from "
+                    f"chunk 0 (with metadata)")
+            if len(self._uploads) >= self.max_pending_uploads:
+                raise RuntimeError(
+                    f"too many pending chunked uploads "
+                    f"({self.max_pending_uploads}); retry later")
+            asm = _ShardAssembly(fingerprint=msg.fingerprint,
+                                 count=msg.count, meta=dict(msg.meta))
+            self._uploads[msg.client_name] = asm
+        if msg.count != asm.count:
+            self._uploads.pop(msg.client_name, None)
+            raise RuntimeError(
+                f"chunk count changed mid-upload ({msg.count} != "
+                f"{asm.count}); restart from chunk 0")
+        return asm
+
+    async def _handle_chunk(self, msg: ShardChunk):
+        if self.state != "waiting":
+            if self._accepted_fps.get(msg.client_name) == msg.fingerprint \
+                    or self._resuming \
+                    or any(name == msg.client_name
+                           for name, _ in self._shards):
+                return Ack(info={"received": msg.count,
+                                 "next_index": msg.count,
+                                 "complete": True, "duplicate": True})
+            return self._late_upload(msg.client_name, msg.count)
+        if self._accepted_fps.get(msg.client_name) == msg.fingerprint:
+            # full shard already landed; the final ack was lost
+            return Ack(info={"received": msg.count, "next_index": msg.count,
+                             "complete": True, "duplicate": True})
+        asm = self._chunk_assembly_for(msg)
+        if msg.index not in asm.chunks:
+            if asm.total_bytes + len(msg.chunk) > self.max_frame_bytes:
+                self._uploads.pop(msg.client_name, None)
+                raise RuntimeError(
+                    f"chunked upload exceeds {self.max_frame_bytes}-byte "
+                    f"assembly limit")
+            asm.chunks[msg.index] = msg.chunk
+            asm.total_bytes += len(msg.chunk)
+            GLOBAL_REGISTRY.counter("repro_upload_chunks_total").inc()
+        if not asm.complete:
+            return Ack(info={"received": len(asm.chunks),
+                             "next_index": asm.next_index(),
+                             "complete": False})
+        body = asm.assemble()
+        if shard_fingerprint(asm.meta, body) != asm.fingerprint:
+            self._uploads.pop(msg.client_name, None)
+            raise RuntimeError(
+                "assembled shard does not match its fingerprint; "
+                "restart the upload from chunk 0")
+        ctx = await self._wire_context()
+        header = {"kind": protocol.KIND_ENCRYPTED_DATA, **asm.meta,
+                  "from": msg.client_name}
+        try:
+            upload = await asyncio.to_thread(
+                EncryptedDataUpload.from_wire, header, body, ctx)
+        except Exception:
+            # hardened ingestion rejected the assembled payload; drop
+            # the assembly so the client's restart starts clean
+            self._uploads.pop(msg.client_name, None)
+            raise
+        ack = self._accept_shard(msg.client_name, upload.dataset,
+                                 upload.stats, fingerprint=asm.fingerprint)
+        ack.info.update({"next_index": asm.count, "complete": True})
+        return ack
+
+    def _handle_resume(self, msg: ShardResumeQuery):
+        if self._accepted_fps.get(msg.client_name) == msg.fingerprint:
+            return Ack(info={"accepted": True, "duplicate": True,
+                             "next_index": msg.count,
+                             "received": msg.count})
+        if self.state != "waiting":
+            if self._resuming or any(name == msg.client_name
+                                     for name, _ in self._shards):
+                return Ack(info={"accepted": True, "duplicate": True,
+                                 "next_index": msg.count,
+                                 "received": msg.count})
+            return self._late_upload(msg.client_name, msg.count)
+        asm = self._uploads.get(msg.client_name)
+        if asm is None or asm.fingerprint != msg.fingerprint \
+                or asm.count != msg.count:
+            return Ack(info={"accepted": False, "next_index": 0,
+                             "received": 0})
+        next_index = asm.next_index()
+        GLOBAL_REGISTRY.counter(
+            "repro_upload_resumed_chunks_total").inc(next_index)
+        return Ack(info={"accepted": False, "next_index": next_index,
+                         "received": len(asm.chunks)})
+
     # -- dispatch ------------------------------------------------------------
     async def _dispatch(self, msg, sender: str):
         if isinstance(msg, EncryptedDataUpload):
             if self.state != "waiting":
-                if (self._resuming
-                        or any(name == msg.client_name
-                               for name, _ in self._shards)):
-                    # the client's earlier upload was accepted but its
-                    # ack got lost; training may already be running --
-                    # acknowledge the resend instead of failing it.  A
-                    # --resume restart has no in-memory shard list (the
-                    # merged dataset came off disk), so every resend
-                    # against a resumed job is by definition a duplicate
-                    return Ack(info={"received": len(msg.dataset),
-                                     "clients": len(self._shards),
-                                     "expected": self.expected_clients,
-                                     "duplicate": True})
-                raise RuntimeError(
-                    f"cannot accept uploads in state {self.state!r}")
-            # last write per client name wins, so a client resending
-            # after a lost ack (transport retry) stays idempotent
-            self._shards = [(name, shard) for name, shard in self._shards
-                            if name != msg.client_name]
-            self._shards.append((msg.client_name, msg.dataset))
-            if msg.stats:
-                # client-side encryption-engine counters ride along with
-                # the upload; folding them here puts the encrypt half of
-                # the cost profile on this server's scrapeable surface
-                for key, value in msg.stats.items():
-                    GLOBAL_REGISTRY.counter(
-                        f"repro_client_engine_{key}_total").inc(value)
-            if len(self._shards) >= self.expected_clients:
-                self._start_training()
-            return Ack(info={"received": len(msg.dataset),
-                             "clients": len(self._shards),
-                             "expected": self.expected_clients})
+                return self._late_upload(msg.client_name, len(msg.dataset))
+            return self._accept_shard(msg.client_name, msg.dataset,
+                                      msg.stats)
+        if isinstance(msg, ShardChunk):
+            return await self._handle_chunk(msg)
+        if isinstance(msg, ShardResumeQuery):
+            return self._handle_resume(msg)
         if isinstance(msg, TrainStart):
             if self.state == "waiting" and self._shards:
                 self._start_training()
@@ -520,6 +744,11 @@ class TrainingService(FramedService):
                                else None))
         finally:
             GLOBAL_TRACER.disable()
+        if self.model_out is not None:
+            # atomic, so an out-of-process driver never reads a torn
+            # file; written only on success, after which the weights are
+            # final and byte-comparable against a reference run
+            save_model_weights(self.trainer.model, self.model_out)
 
     def _predict(self, indices: list[int]) -> list[list[float]]:
         with self._predict_lock:

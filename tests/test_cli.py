@@ -100,3 +100,68 @@ class TestAuthorityRoundtrip:
         path.write_text('{"format": "nope"}')
         with pytest.raises(ValueError):
             load_authority(path)
+
+
+class TestMetricsWatch:
+    """`repro metrics --watch` must survive a scrape target that is
+    down or restarting instead of dying on the first refused
+    connection (the supervised deployment restarts services under
+    the watcher's feet)."""
+
+    @pytest.mark.timeout_guard(60)
+    def test_watch_retries_through_connection_refused(self, capsys):
+        from repro.rpc import free_port
+
+        port = free_port()  # nothing listens here
+        rc = main(["metrics", "--port", str(port), "--watch", "0.05",
+                   "--watch-count", "2", "--timeout", "0.5"])
+        err = capsys.readouterr().err
+        assert rc == 1  # bounded watch ends still-failing -> nonzero
+        assert err.count("metrics scrape failed") == 2
+        assert "retrying in" in err
+
+    @pytest.mark.timeout_guard(60)
+    def test_one_shot_scrape_failure_is_terminal(self, capsys):
+        from repro.rpc import free_port
+
+        port = free_port()
+        rc = main(["metrics", "--port", str(port), "--timeout", "0.5"])
+        assert rc == 1
+        assert "metrics scrape failed" in capsys.readouterr().err
+
+    @pytest.mark.timeout_guard(60)
+    def test_watch_recovers_when_the_target_comes_back(self, capsys):
+        import random
+        import threading
+        import time as _time
+
+        from repro.core.config import CryptoNNConfig
+        from repro.core.entities import TrustedAuthority
+        from repro.rpc import AuthorityService, ServiceThread, free_port
+
+        port = free_port()
+        started = {}
+
+        def bring_up_late():
+            _time.sleep(1.0)
+            authority = TrustedAuthority(CryptoNNConfig(),
+                                         rng=random.Random(0))
+            thread = ServiceThread(AuthorityService(authority, port=port))
+            started["thread"] = thread
+            started["addr"] = thread.start()
+
+        helper = threading.Thread(target=bring_up_late, daemon=True)
+        helper.start()
+        try:
+            # a couple of refused scrapes, then the service appears and
+            # the same watch loop scrapes it successfully -> exit 0
+            rc = main(["metrics", "--port", str(port), "--watch", "0.05",
+                       "--watch-count", "8", "--timeout", "0.2"])
+            captured = capsys.readouterr()
+            assert rc == 0
+            assert "metrics scrape failed" in captured.err
+            assert "state=" in captured.out
+        finally:
+            helper.join(timeout=15)
+            if "thread" in started:
+                started["thread"].stop()
