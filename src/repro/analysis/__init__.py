@@ -1,0 +1,38 @@
+"""AST-based invariant analyzer for the repro codebase.
+
+Machine-checks the rules the repo's correctness rests on -- nonce
+single-use, lock discipline, resume determinism, hot-path arithmetic,
+protocol completeness and metric naming -- as ``repro lint`` and a CI
+gate.  See :mod:`repro.analysis.core` for the framework and
+:mod:`repro.analysis.rules` for the rule suite.
+"""
+
+from repro.analysis.core import (
+    RULE_REGISTRY,
+    Finding,
+    Rule,
+    SourceFile,
+    register,
+)
+from repro.analysis.project import (
+    LintReport,
+    Project,
+    run_lint,
+    select_rules,
+)
+from repro.analysis.report import render_json, render_rule_list, render_text
+
+__all__ = [
+    "RULE_REGISTRY",
+    "Finding",
+    "Rule",
+    "SourceFile",
+    "register",
+    "LintReport",
+    "Project",
+    "run_lint",
+    "select_rules",
+    "render_json",
+    "render_rule_list",
+    "render_text",
+]

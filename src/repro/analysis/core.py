@@ -1,0 +1,221 @@
+"""Core types for the repro static-analysis framework.
+
+The analyzer machine-checks invariants the test suite cannot cover
+exhaustively: nonce single-use (an IND-CPA break if violated), lock
+discipline on shared counters (the PR 7 race class), entropy/wall-clock
+freedom in resume-critical modules (the PR 4 byte-exact guarantee), and
+hot-path arithmetic routed through :mod:`repro.mathutils.fastexp`
+(the PR 1/5 performance win).  Each invariant is a :class:`Rule`; rules
+register themselves in :data:`RULE_REGISTRY` at import time and report
+:class:`Finding` objects with a file:line anchor and a fix hint.
+
+A finding is silenced in source with a suppression comment on the same
+line or the line directly above::
+
+    rng = np.random.default_rng()  # repro: allow[determinism] -- why
+
+The justification after ``--`` is captured into the finding so the
+JSON report doubles as the documented exception list.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import io
+import re
+import tokenize
+from typing import Any, Iterator
+
+#: Severity levels in increasing order of badness.
+SEVERITIES = ("warn", "error")
+
+
+def severity_rank(severity: str) -> int:
+    return SEVERITIES.index(severity)
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    """One rule violation anchored to a source location."""
+
+    rule: str
+    severity: str
+    path: str
+    line: int
+    message: str
+    hint: str = ""
+    suppressed: bool = False
+    justification: str = ""
+
+    def to_dict(self) -> dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    def format(self) -> str:
+        tag = " (suppressed)" if self.suppressed else ""
+        text = (f"{self.path}:{self.line}: [{self.severity}] "
+                f"{self.rule}: {self.message}{tag}")
+        if self.hint and not self.suppressed:
+            text += f"\n    hint: {self.hint}"
+        if self.suppressed and self.justification:
+            text += f"\n    allowed: {self.justification}"
+        return text
+
+
+_ALLOW_RE = re.compile(
+    r"#\s*repro:\s*allow\[([a-z0-9_\-, ]+)\]"
+    r"(?:\s*--\s*(?P<why>.*?))?\s*$")
+
+
+def parse_suppressions(text: str) -> dict[str, dict[int, str]]:
+    """Extract ``# repro: allow[rule-id]`` comments.
+
+    Returns ``{rule_id: {covered_line: justification}}``.  A trailing
+    comment covers its own line; a standalone comment covers every
+    following comment/blank line plus the first code line after it, so
+    a multi-line justification still reaches the statement below.
+
+    Comments are found with :mod:`tokenize` (not a regex over raw
+    lines) so a string literal *containing* the marker never counts.
+    """
+    out: dict[str, dict[int, str]] = {}
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(text).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return out
+    lines = text.splitlines()
+
+    def _coverage(line: int, why: str) -> tuple[list[int], str]:
+        covered = [line]
+        stripped = lines[line - 1].lstrip() if line <= len(lines) else ""
+        if not stripped.startswith("#"):
+            return covered, why  # trailing comment: its own line only
+        cur = line + 1
+        while cur <= len(lines):
+            covered.append(cur)
+            nxt = lines[cur - 1].strip()
+            if nxt and not nxt.startswith("#"):
+                break  # reached the code line the comment annotates
+            if nxt.startswith("#"):
+                # continuation comment line: part of the justification
+                why = (why + " " + nxt.lstrip("#").strip()).strip()
+            cur += 1
+        return covered, why
+
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        match = _ALLOW_RE.search(tok.string)
+        if not match:
+            continue
+        covered_lines, why = _coverage(
+            tok.start[0], (match.group("why") or "").strip())
+        for rule_id in match.group(1).split(","):
+            rule_id = rule_id.strip()
+            if not rule_id:
+                continue
+            covered = out.setdefault(rule_id, {})
+            for line in covered_lines:
+                covered.setdefault(line, why)
+    return out
+
+
+class SourceFile:
+    """A parsed source file: AST, raw lines, and suppression map."""
+
+    def __init__(self, path: Any, rel: str, text: str | None = None):
+        self.path = path
+        self.rel = rel
+        self.text = path.read_text(encoding="utf-8") if text is None else text
+        self.tree = ast.parse(self.text, filename=rel)
+        self.suppressions = parse_suppressions(self.text)
+        self._parents: dict[ast.AST, ast.AST] | None = None
+
+    def parent_map(self) -> dict[ast.AST, ast.AST]:
+        if self._parents is None:
+            parents: dict[ast.AST, ast.AST] = {}
+            for node in ast.walk(self.tree):
+                for child in ast.iter_child_nodes(node):
+                    parents[child] = node
+            self._parents = parents
+        return self._parents
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        parents = self.parent_map()
+        cur = parents.get(node)
+        while cur is not None:
+            yield cur
+            cur = parents.get(cur)
+
+    def suppression_for(self, rule_id: str, line: int) -> str | None:
+        """Justification text if (rule, line) is suppressed, else None."""
+        covered = self.suppressions.get(rule_id)
+        if covered is None:
+            return None
+        if line in covered:
+            return covered[line]
+        return None
+
+
+def attr_path(node: ast.AST) -> str | None:
+    """Dotted path of a Name/Attribute chain (``self.stats.hits``)."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_path(node: ast.Call) -> str | None:
+    """Dotted path of a call's callee, or None for computed callees."""
+    return attr_path(node.func)
+
+
+class Rule:
+    """Base class: one machine-checked invariant.
+
+    Subclasses set ``id``/``severity``/``description`` and override
+    either :meth:`check_file` (scope ``"file"``, run per matching file)
+    or :meth:`check_project` (scope ``"project"``, run once over the
+    whole tree for cross-file invariants).  ``paths`` limits file-scope
+    rules to repo-relative prefixes; empty means every scanned file.
+    """
+
+    id: str = ""
+    severity: str = "error"
+    description: str = ""
+    scope: str = "file"
+    paths: tuple[str, ...] = ()
+
+    def applies_to(self, rel: str) -> bool:
+        return not self.paths or any(rel.startswith(p) for p in self.paths)
+
+    def check_file(self, src: SourceFile, project) -> list[Finding]:
+        return []
+
+    def check_project(self, project) -> list[Finding]:
+        return []
+
+    def finding(self, rel: str, line: int, message: str,
+                hint: str = "") -> Finding:
+        return Finding(rule=self.id, severity=self.severity, path=rel,
+                       line=line, message=message, hint=hint)
+
+
+#: Rule id -> rule instance, populated by the ``register`` decorator
+#: when :mod:`repro.analysis.rules` is imported.
+RULE_REGISTRY: dict[str, Rule] = {}
+
+
+def register(cls: type) -> type:
+    """Class decorator adding one instance of ``cls`` to the registry."""
+    rule = cls()
+    if not rule.id:
+        raise ValueError(f"rule class {cls.__name__} has no id")
+    if rule.id in RULE_REGISTRY:
+        raise ValueError(f"duplicate rule id: {rule.id}")
+    RULE_REGISTRY[rule.id] = rule
+    return cls

@@ -1,0 +1,144 @@
+"""Project discovery and the lint driver.
+
+A :class:`Project` is the set of parseable Python files under a repo
+root (``src``, ``benchmarks``, ``examples`` by default -- ``tests`` is
+excluded because fixtures there violate invariants on purpose, e.g. the
+IND-CPA suite's deliberately nonce-fixed scheme).  :func:`run_lint`
+runs every requested rule over it and returns a :class:`LintReport`
+with suppressions already applied.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+from typing import Any
+
+from repro.analysis.core import (
+    RULE_REGISTRY,
+    Finding,
+    Rule,
+    SourceFile,
+    severity_rank,
+)
+
+#: Directories scanned relative to the repo root, when present.
+DEFAULT_ROOTS = ("src", "benchmarks", "examples")
+
+_SKIP_DIRS = {"__pycache__", ".git", ".pytest_cache", "results"}
+
+
+class Project:
+    """Parsed view of the repo's Python files, keyed by relative path."""
+
+    def __init__(self, root: Path, roots: tuple[str, ...] = DEFAULT_ROOTS):
+        self.root = Path(root)
+        self.parse_errors: list[Finding] = []
+        self._files: dict[str, SourceFile] = {}
+        for top in roots:
+            base = self.root / top
+            if not base.is_dir():
+                continue
+            for path in sorted(base.rglob("*.py")):
+                if any(part in _SKIP_DIRS for part in path.parts):
+                    continue
+                rel = path.relative_to(self.root).as_posix()
+                try:
+                    self._files[rel] = SourceFile(path, rel)
+                except (SyntaxError, UnicodeDecodeError) as exc:
+                    line = getattr(exc, "lineno", 1) or 1
+                    self.parse_errors.append(Finding(
+                        rule="parse", severity="error", path=rel,
+                        line=line, message=f"file does not parse: {exc}"))
+
+    def files(self) -> list[SourceFile]:
+        return list(self._files.values())
+
+    def file(self, rel: str) -> SourceFile | None:
+        return self._files.get(rel)
+
+    def __len__(self) -> int:
+        return len(self._files)
+
+
+@dataclasses.dataclass
+class LintReport:
+    """Everything one lint run produced, suppressions applied."""
+
+    root: str
+    rules: list[Rule]
+    findings: list[Finding]
+    files_scanned: int
+
+    def active(self) -> list[Finding]:
+        return [f for f in self.findings if not f.suppressed]
+
+    def suppressed(self) -> list[Finding]:
+        return [f for f in self.findings if f.suppressed]
+
+    def failures(self, fail_on: str) -> list[Finding]:
+        """Active findings at or above the ``fail_on`` severity."""
+        threshold = severity_rank(fail_on)
+        return [f for f in self.active()
+                if severity_rank(f.severity) >= threshold]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "version": 1,
+            "root": self.root,
+            "rules": [{"id": r.id, "severity": r.severity,
+                       "scope": r.scope, "description": r.description}
+                      for r in self.rules],
+            "findings": [f.to_dict() for f in self.findings],
+            "summary": {
+                "files_scanned": self.files_scanned,
+                "errors": sum(1 for f in self.active()
+                              if f.severity == "error"),
+                "warnings": sum(1 for f in self.active()
+                                if f.severity == "warn"),
+                "suppressed": len(self.suppressed()),
+            },
+        }
+
+
+def _apply_suppression(project: Project, finding: Finding) -> Finding:
+    src = project.file(finding.path)
+    if src is None:
+        return finding
+    why = src.suppression_for(finding.rule, finding.line)
+    if why is None:
+        return finding
+    return dataclasses.replace(finding, suppressed=True, justification=why)
+
+
+def select_rules(rule_ids: list[str] | None) -> list[Rule]:
+    """Resolve rule ids to instances; None means every registered rule."""
+    import repro.analysis.rules  # noqa: F401  (populates the registry)
+    if rule_ids is None:
+        return [RULE_REGISTRY[k] for k in sorted(RULE_REGISTRY)]
+    rules = []
+    for rid in rule_ids:
+        if rid not in RULE_REGISTRY:
+            known = ", ".join(sorted(RULE_REGISTRY))
+            raise KeyError(f"unknown rule {rid!r} (known: {known})")
+        rules.append(RULE_REGISTRY[rid])
+    return rules
+
+
+def run_lint(root: Path, rule_ids: list[str] | None = None,
+             roots: tuple[str, ...] = DEFAULT_ROOTS) -> LintReport:
+    """Run the selected rules over every scanned file under ``root``."""
+    rules = select_rules(rule_ids)
+    project = Project(Path(root), roots=roots)
+    findings: list[Finding] = list(project.parse_errors)
+    for rule in rules:
+        if rule.scope == "project":
+            findings.extend(rule.check_project(project))
+        else:
+            for src in project.files():
+                if rule.applies_to(src.rel):
+                    findings.extend(rule.check_file(src, project))
+    findings = [_apply_suppression(project, f) for f in findings]
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return LintReport(root=str(root), rules=rules, findings=findings,
+                      files_scanned=len(project))

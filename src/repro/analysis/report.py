@@ -1,0 +1,35 @@
+"""Rendering for lint reports: human text and machine JSON."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.project import LintReport
+
+
+def render_text(report: LintReport, show_suppressed: bool = False) -> str:
+    lines: list[str] = []
+    active = report.active()
+    for finding in active:
+        lines.append(finding.format())
+    if show_suppressed:
+        for finding in report.suppressed():
+            lines.append(finding.format())
+    summary = report.to_dict()["summary"]
+    lines.append(
+        f"{summary['files_scanned']} files scanned, "
+        f"{summary['errors']} errors, {summary['warnings']} warnings, "
+        f"{summary['suppressed']} suppressed")
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    return json.dumps(report.to_dict(), indent=2, sort_keys=True)
+
+
+def render_rule_list(rules) -> str:
+    """One line per rule for ``repro lint --list-rules``."""
+    width = max(len(r.id) for r in rules)
+    return "\n".join(
+        f"{r.id:<{width}}  [{r.severity}/{r.scope}]  {r.description}"
+        for r in rules)

@@ -1,0 +1,86 @@
+"""crypto-random: no ``random``-module entropy in crypto-adjacent code.
+
+Key material, nonces and group elements in ``fe/``, ``mathutils/`` and
+``rpc/`` must come from ``secrets`` or an OS-seeded generator.  The
+stdlib ``random`` module-level functions share one Mersenne Twister --
+predictable and cross-thread-shared -- and a *literal*-seeded
+``random.Random(42)`` or ``default_rng(42)`` in these directories is a
+fixed, public entropy stream.  An argument-seeded generator is allowed
+(the seed is the caller's responsibility) and so are ``random.Random()``
+/ ``random.SystemRandom()``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import Rule, SourceFile, call_path, register
+
+_ALLOWED_CLASSES = {"Random", "SystemRandom"}
+
+
+@register
+class CryptoRandomRule(Rule):
+    id = "crypto-random"
+    severity = "error"
+    description = ("no global/literal-seeded random module use in "
+                   "fe/, mathutils/, rpc/")
+    paths = ("src/repro/fe/", "src/repro/mathutils/", "src/repro/rpc/")
+
+    def check_file(self, src: SourceFile, project) -> list:
+        findings = []
+        # names pulled in with `from random import x`
+        from_random: set[str] = set()
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "random":
+                for alias in node.names:
+                    from_random.add(alias.asname or alias.name)
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            path = call_path(node)
+            if path is None:
+                continue
+            if path.startswith("random."):
+                attr = path.split(".", 1)[1]
+                if attr in _ALLOWED_CLASSES:
+                    findings.extend(self._check_seed(src, node, path))
+                else:
+                    findings.append(self.finding(
+                        src.rel, node.lineno,
+                        f"{path}() uses the shared module-level PRNG",
+                        hint="use secrets or a random.Random instance "
+                             "owned by the caller"))
+            elif path in ("np.random.default_rng",
+                          "numpy.random.default_rng"):
+                findings.extend(self._check_seed(src, node, path))
+            elif path.startswith(("np.random.", "numpy.random.")):
+                findings.append(self.finding(
+                    src.rel, node.lineno,
+                    f"{path}() uses NumPy's global PRNG",
+                    hint="construct a Generator via default_rng and "
+                         "pass it down"))
+            elif isinstance(node.func, ast.Name) \
+                    and node.func.id in from_random \
+                    and node.func.id not in _ALLOWED_CLASSES:
+                findings.append(self.finding(
+                    src.rel, node.lineno,
+                    f"{node.func.id}() imported from random uses the "
+                    f"shared module-level PRNG",
+                    hint="use secrets or a caller-owned generator"))
+        return findings
+
+    def _check_seed(self, src: SourceFile, node: ast.Call,
+                    path: str) -> list:
+        # OS-seeded (no args / None) and argument-seeded are fine;
+        # a literal seed is a fixed public entropy stream.
+        seeds = list(node.args) + [kw.value for kw in node.keywords]
+        for seed in seeds:
+            if isinstance(seed, ast.Constant) and seed.value is not None:
+                return [self.finding(
+                    src.rel, node.lineno,
+                    f"{path}({seed.value!r}) is seeded with a literal "
+                    f"constant in crypto-adjacent code",
+                    hint="let the OS seed it (no argument) or accept "
+                         "the seed from the caller")]
+        return []

@@ -1,0 +1,76 @@
+"""determinism: resume-critical modules draw no entropy or wall clock.
+
+PR 4's guarantee is byte-exact resume: a run killed at any checkpoint
+and resumed must produce bit-identical weights.  That only holds if the
+fit loop, checkpoint codec and optimizer stepping never consult
+``time.time()``, ``datetime.now()``, the ``random`` module, an
+*unseeded* ``default_rng()``, ``os.urandom``/``secrets``/``uuid4`` --
+any of those and the resumed trajectory diverges from the original.
+Seeded ``default_rng(seed)`` is fine: the seed travels through the
+checkpoint.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import Rule, SourceFile, call_path, register
+
+_BANNED_EXACT = {
+    "time.time": "wall-clock time",
+    "time.time_ns": "wall-clock time",
+    "time.ctime": "wall-clock time",
+    "os.urandom": "OS entropy",
+    "uuid.uuid1": "time/host-derived id",
+    "uuid.uuid4": "OS entropy",
+}
+
+
+@register
+class DeterminismRule(Rule):
+    id = "determinism"
+    severity = "error"
+    description = ("no wall-clock/entropy (time.time, datetime.now, "
+                   "random.*, unseeded default_rng) in resume-critical "
+                   "modules")
+    paths = ("src/repro/core/cryptonn.py",
+             "src/repro/core/checkpoint.py",
+             "src/repro/nn/optimizers.py")
+
+    def check_file(self, src: SourceFile, project) -> list:
+        findings = []
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            path = call_path(node)
+            if path is None:
+                continue
+            reason = self._banned(path, node)
+            if reason:
+                findings.append(self.finding(
+                    src.rel, node.lineno,
+                    f"{path}() draws {reason} in a resume-critical "
+                    f"module; byte-exact resume (PR 4) breaks",
+                    hint="accept the value (rng, timestamp) from the "
+                         "caller so it is part of checkpointed state"))
+        return findings
+
+    @staticmethod
+    def _banned(path: str, node: ast.Call) -> str | None:
+        if path in _BANNED_EXACT:
+            return _BANNED_EXACT[path]
+        last = path.rsplit(".", 1)[-1]
+        if last in ("now", "utcnow", "today") and (
+                "datetime" in path or path.startswith("date.")):
+            return "wall-clock time"
+        if path == "random" or path.startswith("random."):
+            return "shared-PRNG entropy"
+        if path.startswith("secrets."):
+            return "OS entropy"
+        if path in ("np.random.default_rng", "numpy.random.default_rng"):
+            if not node.args and not node.keywords:
+                return "an unseeded (OS-entropy) generator"
+            return None
+        if path.startswith(("np.random.", "numpy.random.")):
+            return "NumPy global-PRNG entropy"
+        return None

@@ -1,0 +1,78 @@
+"""key-serialization: master-key material must not reach serializers.
+
+The paper's architecture keeps master secret keys (``msk``) inside the
+authority; anything a serializer touches can end up in a file or on the
+wire.  This rule walks every serialization-shaped function (``save_*``,
+``pack_*``, ``to_*``, ``dump*``, ``serialize*``, wire ``body``/
+``header`` methods) in the serialization, checkpoint and message
+modules and flags reads of key-material names -- attribute accesses or
+dict/subscript string keys matching ``msk``/``sk``/``master_*``.
+
+The two legitimate carriers are suppression-documented at their sites:
+the authority key file (it *is* the master-key artifact) and derived
+function keys (``FeipFunctionKey.sk`` is the protocol payload, not a
+master secret).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from repro.analysis.core import Rule, SourceFile, register
+
+_SERIALIZER_NAME = re.compile(
+    r"^(save_|pack_|dump|write_|serialize)|(^|_)to_")
+_WIRE_METHODS = {"body", "header"}
+_KEY_STRING = re.compile(r"(^|_)msks?($|_)|^master_|^sk$")
+
+
+def _is_key_attr(name: str) -> bool:
+    return (name in ("msk", "sk") or name.startswith("master_")
+            or bool(re.search(r"(^|_)msks?$", name)))
+
+
+@register
+class KeySerializationRule(Rule):
+    id = "key-serialization"
+    severity = "error"
+    description = ("key-material names (msk/sk/master_*) must not be "
+                   "read inside serialization/checkpoint code")
+    paths = ("src/repro/core/serialization.py",
+             "src/repro/core/checkpoint.py",
+             "src/repro/rpc/messages.py")
+
+    def check_file(self, src: SourceFile, project) -> list:
+        findings = []
+        for node in ast.walk(src.tree):
+            if not isinstance(node, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                continue
+            if not (_SERIALIZER_NAME.search(node.name)
+                    or node.name in _WIRE_METHODS):
+                continue
+            findings.extend(self._check_function(src, node))
+        return findings
+
+    def _check_function(self, src: SourceFile, fn) -> list:
+        findings = []
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Attribute) and _is_key_attr(node.attr):
+                findings.append(self.finding(
+                    src.rel, node.lineno,
+                    f"serializer {fn.name}() reads key-material "
+                    f"attribute .{node.attr}",
+                    hint="keep master material out of serialized "
+                         "artifacts, or suppress with a justification "
+                         "if this payload is the documented exception"))
+            elif isinstance(node, ast.Constant) \
+                    and isinstance(node.value, str) \
+                    and _KEY_STRING.search(node.value):
+                findings.append(self.finding(
+                    src.rel, node.lineno,
+                    f"serializer {fn.name}() emits key-material field "
+                    f"{node.value!r}",
+                    hint="keep master material out of serialized "
+                         "artifacts, or suppress with a justification "
+                         "if this payload is the documented exception"))
+        return findings

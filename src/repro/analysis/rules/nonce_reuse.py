@@ -1,0 +1,142 @@
+"""nonce-reuse: every ``encrypt(nonce=...)`` must get a fresh nonce.
+
+Reusing a commitment nonce across two FEBO encryptions (or an FEIP
+nonce tuple across two columns) collapses the scheme to deterministic
+ElGamal -- the IND-CPA suite demonstrates the break.  Safe shapes are
+a direct producing call (``nonce=store.pop()``, ``nonce=make_*``), a
+name assigned fresh before each use, or a pass-through parameter of an
+encrypt wrapper.  Flagged shapes:
+
+* a stored nonce (``nonce=self._nonce`` / ``nonce=cache[k]``),
+* a name with no visible assignment in the function,
+* an encrypt call inside a loop whose nonce name is only bound
+  outside that loop (one nonce across all iterations),
+* one assignment feeding several encrypt calls.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import Rule, SourceFile, register
+
+_HINT = "consume a fresh nonce per call (engine store pop or make_*)"
+
+
+def _nonce_keyword(call: ast.Call):
+    for kw in call.keywords:
+        if kw.arg == "nonce":
+            return kw.value
+    return None
+
+
+@register
+class NonceReuseRule(Rule):
+    id = "nonce-reuse"
+    severity = "error"
+    description = ("encrypt(nonce=...) arguments must be freshly "
+                   "produced, never stored or reused")
+    paths = ()  # every scanned file
+
+    def check_file(self, src: SourceFile, project) -> list:
+        findings = []
+        for node in ast.walk(src.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                findings.extend(self._check_function(src, node))
+        return findings
+
+    def _check_function(self, src: SourceFile, fn) -> list:
+        calls: list[tuple[ast.Call, ast.expr]] = []
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Call):
+                value = _nonce_keyword(node)
+                if value is not None and not (
+                        isinstance(value, ast.Constant)
+                        and value.value is None):
+                    calls.append((node, value))
+        if not calls:
+            return []
+
+        params = {a.arg for a in fn.args.args + fn.args.kwonlyargs
+                  + fn.args.posonlyargs}
+        assigns = self._name_assignments(fn)
+        findings = []
+        uses_by_name: dict[str, list[ast.Call]] = {}
+        for call, value in calls:
+            if isinstance(value, ast.Call):
+                continue  # produced in place: fresh by construction
+            if isinstance(value, (ast.Attribute, ast.Subscript)):
+                findings.append(self.finding(
+                    src.rel, call.lineno,
+                    "nonce comes from stored state "
+                    f"({ast.unparse(value)}); stored nonces get reused",
+                    hint=_HINT))
+                continue
+            if not isinstance(value, ast.Name):
+                findings.append(self.finding(
+                    src.rel, call.lineno,
+                    f"nonce is a computed expression "
+                    f"({ast.unparse(value)}); freshness is unverifiable",
+                    hint=_HINT))
+                continue
+            name = value.id
+            if name in params:
+                continue  # wrapper pass-through: caller is checked instead
+            sites = assigns.get(name, [])
+            if not sites:
+                findings.append(self.finding(
+                    src.rel, call.lineno,
+                    f"nonce name {name!r} has no visible assignment in "
+                    f"{fn.name}()",
+                    hint=_HINT))
+                continue
+            loop = self._enclosing_loop(src, call, fn)
+            if loop is not None:
+                in_loop = set(map(id, ast.walk(loop)))
+                if not any(id(site) in in_loop for site in sites):
+                    findings.append(self.finding(
+                        src.rel, call.lineno,
+                        f"nonce {name!r} is bound outside the loop; one "
+                        f"nonce would encrypt every iteration",
+                        hint=_HINT))
+                    continue
+            uses_by_name.setdefault(name, []).append(call)
+        for name, uses in uses_by_name.items():
+            if len(uses) > len(assigns.get(name, [])):
+                for call in uses[len(assigns.get(name, [])):]:
+                    findings.append(self.finding(
+                        src.rel, call.lineno,
+                        f"nonce {name!r} feeds {len(uses)} encrypt calls "
+                        f"but has {len(assigns.get(name, []))} "
+                        f"assignment(s)",
+                        hint=_HINT))
+        return findings
+
+    @staticmethod
+    def _name_assignments(fn) -> dict[str, list[ast.AST]]:
+        out: dict[str, list[ast.AST]] = {}
+        for node in ast.walk(fn):
+            targets: list[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AnnAssign, ast.AugAssign,
+                                   ast.NamedExpr)):
+                targets = [node.target]
+            for target in targets:
+                for el in ast.walk(target):
+                    if isinstance(el, ast.Name):
+                        out.setdefault(el.id, []).append(node)
+        return out
+
+    @staticmethod
+    def _enclosing_loop(src: SourceFile, call: ast.Call, fn):
+        """Nearest loop between ``call`` and its enclosing function."""
+        for anc in src.ancestors(call):
+            if anc is fn:
+                return None
+            if isinstance(anc, (ast.For, ast.AsyncFor, ast.While,
+                                ast.comprehension, ast.ListComp,
+                                ast.SetComp, ast.DictComp,
+                                ast.GeneratorExp)):
+                return anc
+        return None

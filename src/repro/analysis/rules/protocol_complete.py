@@ -1,0 +1,176 @@
+"""protocol-complete: every message kind is wired end to end.
+
+A message kind is only real when three files agree on it: a codec
+registered in ``rpc/messages.py`` (the ``@_register`` decorator), a
+service ``isinstance`` handler for its class (request kinds only --
+responses and ``ack``/``error`` terminate at the client), and, for the
+paper-protocol kinds declared in ``core/protocol.py``, a reference in
+the entity-layer TrafficLog accounting.  PR 3 added the registry and
+PR 8 the chunked-upload kinds; each grew a kind in one file and had to
+remember the other two by hand.  This rule parses all of them and
+cross-checks, so a future kind that forgets its handler or accounting
+fails CI instead of silently dropping traffic.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import Rule, attr_path, register
+
+#: Kinds that legitimately have no service handler: the client consumes
+#: them (responses) or they are terminal control frames.
+_UNHANDLED_OK = {"ack", "error"}
+
+
+def _kind_constants(src) -> dict[str, tuple[str, int]]:
+    """Top-level ``KIND_X = "literal"`` assignments: name -> (value, line)."""
+    out: dict[str, tuple[str, int]] = {}
+    if src is None:
+        return out
+    for node in src.tree.body:
+        if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                and isinstance(node.targets[0], ast.Name) \
+                and node.targets[0].id.startswith("KIND_") \
+                and isinstance(node.value, ast.Constant) \
+                and isinstance(node.value.value, str):
+            out[node.targets[0].id] = (node.value.value, node.lineno)
+    return out
+
+
+@register
+class ProtocolCompleteRule(Rule):
+    id = "protocol-complete"
+    severity = "error"
+    description = ("every message kind has a codec, a service handler, "
+                   "and TrafficLog accounting (cross-file check)")
+    scope = "project"
+
+    PROTOCOL_PATH = "src/repro/core/protocol.py"
+    MESSAGES_PATH = "src/repro/rpc/messages.py"
+    HANDLER_PATHS = ("src/repro/rpc/service.py",
+                     "src/repro/rpc/authority_service.py",
+                     "src/repro/rpc/training_service.py")
+    ACCOUNTING_PATH = "src/repro/core/entities.py"
+
+    def check_project(self, project) -> list:
+        protocol_src = project.file(self.PROTOCOL_PATH)
+        messages_src = project.file(self.MESSAGES_PATH)
+        if protocol_src is None or messages_src is None:
+            return []  # not this repo's layout (e.g. a fixture subset)
+        findings = []
+
+        protocol_kinds = _kind_constants(protocol_src)
+        local_kinds = _kind_constants(messages_src)
+
+        # codec registrations: kind value -> (class name, line)
+        registered: dict[str, tuple[str, int]] = {}
+        for node in messages_src.tree.body:
+            if not isinstance(node, ast.ClassDef):
+                continue
+            for deco in node.decorator_list:
+                if not (isinstance(deco, ast.Call)
+                        and isinstance(deco.func, ast.Name)
+                        and deco.func.id == "_register"):
+                    continue
+                for arg in deco.args:
+                    value = self._kind_value(arg, protocol_kinds,
+                                             local_kinds)
+                    if value is None:
+                        continue
+                    if value in registered:
+                        findings.append(self.finding(
+                            self.MESSAGES_PATH, node.lineno,
+                            f"kind {value!r} is registered by both "
+                            f"{registered[value][0]} and {node.name}; "
+                            f"the second silently wins",
+                            hint="each kind gets exactly one codec"))
+                    else:
+                        registered[value] = (node.name, node.lineno)
+
+        # 1. every paper-protocol kind has a codec
+        for name, (value, line) in protocol_kinds.items():
+            if value not in registered:
+                findings.append(self.finding(
+                    self.PROTOCOL_PATH, line,
+                    f"protocol kind {name} ({value!r}) has no "
+                    f"registered message codec",
+                    hint="add an @_register class in rpc/messages.py"))
+
+        # 2. every request kind's class appears in a dispatch isinstance
+        handled = self._handled_classes(project)
+        for value, (cls_name, line) in registered.items():
+            if value.endswith("-response") or value in _UNHANDLED_OK:
+                continue
+            if cls_name not in handled:
+                findings.append(self.finding(
+                    self.MESSAGES_PATH, line,
+                    f"request kind {value!r} ({cls_name}) is decoded "
+                    f"by no service dispatch",
+                    hint="add an isinstance branch in a _dispatch "
+                         "method or list the kind in OBS_KINDS"))
+
+        # 3. every paper-protocol kind appears in entity accounting
+        accounted = self._accounting_refs(project)
+        for name, (value, line) in protocol_kinds.items():
+            if name not in accounted:
+                findings.append(self.finding(
+                    self.PROTOCOL_PATH, line,
+                    f"protocol kind {name} is never referenced in "
+                    f"{self.ACCOUNTING_PATH} TrafficLog accounting",
+                    hint="record the kind where the entity sends or "
+                         "receives it"))
+        return findings
+
+    @staticmethod
+    def _kind_value(arg, protocol_kinds, local_kinds) -> str | None:
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            return arg.value
+        path = attr_path(arg)
+        if path is None:
+            return None
+        name = path.rsplit(".", 1)[-1]
+        if path.startswith("protocol.") and name in protocol_kinds:
+            return protocol_kinds[name][0]
+        if name in local_kinds:
+            return local_kinds[name][0]
+        return None
+
+    def _handled_classes(self, project) -> set[str]:
+        handled: set[str] = set()
+        for rel in self.HANDLER_PATHS:
+            src = project.file(rel)
+            if src is None:
+                continue
+            for fn in ast.walk(src.tree):
+                if not isinstance(fn, (ast.FunctionDef,
+                                       ast.AsyncFunctionDef)):
+                    continue
+                if not fn.name.startswith(("_dispatch", "_handle")):
+                    continue
+                for node in ast.walk(fn):
+                    if isinstance(node, ast.Call) \
+                            and isinstance(node.func, ast.Name) \
+                            and node.func.id == "isinstance" \
+                            and len(node.args) == 2:
+                        types = node.args[1]
+                        elements = types.elts if isinstance(
+                            types, ast.Tuple) else [types]
+                        for el in elements:
+                            if isinstance(el, ast.Name):
+                                handled.add(el.id)
+        return handled
+
+    def _accounting_refs(self, project) -> set[str]:
+        src = project.file(self.ACCOUNTING_PATH)
+        refs: set[str] = set()
+        if src is None:
+            return refs
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.Attribute) \
+                    and node.attr.startswith("KIND_"):
+                refs.add(node.attr)
+            elif isinstance(node, ast.Name) \
+                    and node.id.startswith("KIND_"):
+                refs.add(node.id)
+        return refs

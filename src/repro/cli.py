@@ -276,6 +276,40 @@ def cmd_client_upload(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Run the repo's AST invariant analyzer (repro.analysis)."""
+    from pathlib import Path
+
+    from repro.analysis import (
+        render_json,
+        render_rule_list,
+        render_text,
+        run_lint,
+        select_rules,
+    )
+
+    if args.list_rules:
+        print(render_rule_list(select_rules(None)))
+        return 0
+    rule_ids = None
+    if args.rules:
+        rule_ids = [r.strip() for r in args.rules.split(",") if r.strip()]
+    try:
+        report = run_lint(Path(args.root), rule_ids=rule_ids)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    if args.report:
+        Path(args.report).parent.mkdir(parents=True, exist_ok=True)
+        Path(args.report).write_text(render_json(report) + "\n",
+                                     encoding="utf-8")
+    if args.json:
+        print(render_json(report))
+    else:
+        print(render_text(report, show_suppressed=args.show_suppressed))
+    return 1 if report.failures(args.fail_on) else 0
+
+
 def cmd_metrics(args: argparse.Namespace) -> int:
     """Scrape any repro service's metrics/health over the wire."""
     from repro.obs.metrics import MetricsRegistry
@@ -627,6 +661,28 @@ def build_parser() -> argparse.ArgumentParser:
                         "resumes at the last acked chunk; omit for the "
                         "single-frame upload")
     p.set_defaults(func=cmd_client_upload)
+
+    p = sub.add_parser(
+        "lint",
+        help="run the AST invariant analyzer (crypto/lock/determinism "
+             "rules) over the repo")
+    p.add_argument("--root", default=".",
+                   help="repo root to scan (default: cwd)")
+    p.add_argument("--rules", metavar="ID[,ID...]",
+                   help="comma-separated rule ids (default: all)")
+    p.add_argument("--json", action="store_true",
+                   help="print the JSON report instead of text")
+    p.add_argument("--fail-on", choices=["warn", "error"],
+                   default="error",
+                   help="exit 1 when findings at/above this severity "
+                        "remain unsuppressed (default: error)")
+    p.add_argument("--report", metavar="PATH",
+                   help="also write the JSON report to PATH")
+    p.add_argument("--show-suppressed", action="store_true",
+                   help="include suppressed findings in text output")
+    p.add_argument("--list-rules", action="store_true",
+                   help="print the rule registry and exit")
+    p.set_defaults(func=cmd_lint)
 
     p = sub.add_parser("metrics",
                        help="scrape a running service's metrics/health")

@@ -166,7 +166,10 @@ class _SecureTrainerBase:
         if checkpoint_path is not None:
             checkpoint_path = npz_path(checkpoint_path)
         if shuffle and rng is None:
-            # own the generator so its state can be checkpointed
+            # own the generator so its state can be checkpointed:
+            # resume stays byte-exact even from an entropy-seeded
+            # start, because checkpoints carry the bit-generator state
+            # repro: allow[determinism] -- entropy only seeds the run
             rng = np.random.default_rng()
 
         run_meta = {

@@ -12,6 +12,7 @@ of decryptions a single training iteration performs.
 from __future__ import annotations
 
 import math
+import threading
 from collections import OrderedDict
 from collections.abc import Sequence
 
@@ -200,10 +201,14 @@ class SolverCache:
     the default (None) keeps it unbounded, which is what in-process
     experiments with a handful of bounds want.
 
-    The ``hits``/``builds``/``evictions`` counters are plain ints read
-    by the metrics registry at scrape time; like the cache itself they
-    are not thread-safe (callers already serialise access), so the
-    readings are best-effort under concurrent mutation.
+    The map and the ``hits``/``builds``/``evictions`` counters are
+    guarded by one lock: :data:`GLOBAL_SOLVER_CACHE` is shared
+    process-wide (every decrypting thread routes through it) and the
+    metrics registry scrapes the counters from an arbitrary thread, so
+    both the LRU bookkeeping and the scrape need a consistent view --
+    the same treatment ``pool.stats`` and the engine stats got in PR 7.
+    Table *construction* happens under the lock too, which also stops
+    two threads racing to build the same expensive baby-step table.
     """
 
     def __init__(self, max_entries: int | None = None) -> None:
@@ -213,30 +218,44 @@ class SolverCache:
         self.hits = 0
         self.builds = 0
         self.evictions = 0
+        self._lock = threading.Lock()
         self._solvers: OrderedDict[tuple[int, int, int], DlogSolver] = \
             OrderedDict()
 
     def get(self, group: SchnorrGroup, bound: int) -> DlogSolver:
         key = (group.p, group.g, bound)
-        solver = self._solvers.get(key)
-        if solver is None:
-            self.builds += 1
-            solver = DlogSolver(group, bound)
-            self._solvers[key] = solver
-            if self.max_entries is not None:
-                while len(self._solvers) > self.max_entries:
-                    self._solvers.popitem(last=False)
-                    self.evictions += 1
-        else:
-            self.hits += 1
-            self._solvers.move_to_end(key)
-        return solver
+        with self._lock:
+            solver = self._solvers.get(key)
+            if solver is None:
+                self.builds += 1
+                solver = DlogSolver(group, bound)
+                self._solvers[key] = solver
+                if self.max_entries is not None:
+                    while len(self._solvers) > self.max_entries:
+                        self._solvers.popitem(last=False)
+                        self.evictions += 1
+            else:
+                self.hits += 1
+                self._solvers.move_to_end(key)
+            return solver
 
     def clear(self) -> None:
-        self._solvers.clear()
+        with self._lock:
+            self._solvers.clear()
 
     def __len__(self) -> int:
-        return len(self._solvers)
+        with self._lock:
+            return len(self._solvers)
+
+    def stats(self) -> dict[str, int]:
+        """Consistent counter snapshot (one lock acquisition)."""
+        with self._lock:
+            return {
+                "entries": len(self._solvers),
+                "hits": self.hits,
+                "builds": self.builds,
+                "evictions": self.evictions,
+            }
 
 
 #: Process-wide default cache.  Library code accepts an explicit cache for
@@ -246,12 +265,12 @@ GLOBAL_SOLVER_CACHE = SolverCache(max_entries=GLOBAL_SOLVER_CACHE_ENTRIES)
 
 
 def _collect_global_solver_cache() -> dict[str, int]:
-    cache = GLOBAL_SOLVER_CACHE
+    stats = GLOBAL_SOLVER_CACHE.stats()
     return {
-        "repro_dlog_solver_cache_entries": len(cache),
-        "repro_dlog_solver_cache_hits_total": cache.hits,
-        "repro_dlog_solver_cache_builds_total": cache.builds,
-        "repro_dlog_solver_cache_evictions_total": cache.evictions,
+        "repro_dlog_solver_cache_entries": stats["entries"],
+        "repro_dlog_solver_cache_hits_total": stats["hits"],
+        "repro_dlog_solver_cache_builds_total": stats["builds"],
+        "repro_dlog_solver_cache_evictions_total": stats["evictions"],
     }
 
 
